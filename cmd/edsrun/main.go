@@ -1,0 +1,80 @@
+// Command edsrun runs one of the paper's algorithms on a generated
+// port-numbered graph and reports feasibility, solution quality, and
+// execution statistics.
+//
+// Usage:
+//
+//	edsrun -graph cycle:12 -alg auto
+//	edsrun -graph regular:n=20,d=3 -alg regularodd -engine concurrent
+//	edsrun -graph evenlb:d=6 -alg portone -dot out.dot
+//
+// Graphs: cycle:N, path:N, complete:N, hypercube:DIM, torus:RxC,
+// petersen, matching:K, regular:n=N,d=D, bounded:n=N,delta=D,
+// tree:N, evenlb:d=D, oddlb:d=D.
+//
+// Algorithms: auto, portone, regularodd, regularodd-nopruning,
+// general (uses the graph's max degree), general:DELTA, alledges.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"eds/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("edsrun: ")
+	graphSpec := flag.String("graph", "cycle:12", "graph specification (see -help)")
+	algSpec := flag.String("alg", "auto", "algorithm: auto|portone|regularodd|regularodd-nopruning|general[:D]|alledges")
+	engine := flag.String("engine", "sequential", "engine: sequential|concurrent")
+	seed := flag.Int64("seed", 1, "seed for random graph families")
+	dotOut := flag.String("dot", "", "write a DOT rendering with the output highlighted")
+	exact := flag.Bool("exact", false, "also compute the exact optimum (exponential; small graphs only)")
+	profile := flag.Bool("profile", false, "print the per-message-type communication profile (sequential engine only)")
+	flag.Parse()
+
+	g, opt, err := parseGraph(*graphSpec, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	alg, bound, err := parseAlg(*algSpec, g)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var res *sim.Result
+	var trace *sim.Trace
+	switch *engine {
+	case "sequential":
+		var opts []sim.Option
+		if *profile {
+			var traceOpt sim.Option
+			trace, traceOpt = sim.NewTrace()
+			opts = append(opts, traceOpt)
+		}
+		res, err = sim.RunSequential(g, alg, opts...)
+	case "concurrent":
+		res, err = sim.RunConcurrent(g, alg)
+	default:
+		log.Fatalf("unknown engine %q", *engine)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := report(os.Stdout, g, alg, bound, res, opt, *exact, *dotOut); err != nil {
+		log.Fatal(err)
+	}
+	if trace != nil {
+		fmt.Println("\ncommunication profile:")
+		fmt.Print(trace.String())
+	}
+}
+
+func fatalUsage(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "edsrun: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"eds/internal/graph"
+)
+
+func TestParseGraphFamilies(t *testing.T) {
+	tests := []struct {
+		spec    string
+		n, m    int
+		hasOpt  bool
+		wantErr bool
+	}{
+		{spec: "cycle:8", n: 8, m: 8},
+		{spec: "path:5", n: 5, m: 4},
+		{spec: "complete:5", n: 5, m: 10},
+		{spec: "hypercube:3", n: 8, m: 12},
+		{spec: "torus:3x4", n: 12, m: 24},
+		{spec: "petersen", n: 10, m: 15},
+		{spec: "matching:4", n: 8, m: 4},
+		{spec: "regular:n=12,d=3", n: 12, m: 18},
+		{spec: "evenlb:d=6", n: 11, m: 33, hasOpt: true},
+		{spec: "oddlb:d=5", n: 54, m: 135, hasOpt: true},
+		{spec: "nonsense:1", wantErr: true},
+		{spec: "regular:n=bad", wantErr: true},
+		{spec: "file:/nonexistent/path.graph", wantErr: true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.spec, func(t *testing.T) {
+			g, opt, err := parseGraph(tc.spec, 1)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatal("want error")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("parseGraph: %v", err)
+			}
+			if g.N() != tc.n || g.M() != tc.m {
+				t.Errorf("got n=%d m=%d, want n=%d m=%d", g.N(), g.M(), tc.n, tc.m)
+			}
+			if (opt != nil) != tc.hasOpt {
+				t.Errorf("hasOpt = %v, want %v", opt != nil, tc.hasOpt)
+			}
+		})
+	}
+}
+
+func TestParseAlg(t *testing.T) {
+	cycle, _, err := parseGraph("cycle:6", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k4, _, err := parseGraph("complete:4", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, _, err := parseGraph("path:5", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tests := []struct {
+		name    string
+		spec    string
+		g       *graph.Graph
+		want    string
+		wantErr bool
+	}{
+		{name: "auto even regular", spec: "auto", g: cycle, want: "portone"},
+		{name: "auto odd regular", spec: "auto", g: k4, want: "regularodd"},
+		{name: "auto irregular", spec: "auto", g: path, want: "general(Δ=3)"},
+		{name: "explicit general with delta", spec: "general:7", g: path, want: "general(Δ=7)"},
+		{name: "general below max degree", spec: "general:1", g: k4, wantErr: true},
+		{name: "regularodd on even-regular", spec: "regularodd", g: cycle, wantErr: true},
+		{name: "unknown", spec: "zigzag", g: cycle, wantErr: true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			alg, _, err := parseAlg(tc.spec, tc.g)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatal("want error")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("parseAlg: %v", err)
+			}
+			if !strings.HasPrefix(alg.Name(), tc.want) {
+				t.Errorf("algorithm = %s, want %s", alg.Name(), tc.want)
+			}
+		})
+	}
+}

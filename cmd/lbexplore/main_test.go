@@ -1,0 +1,37 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExploreEven(t *testing.T) {
+	var sb strings.Builder
+	if err := explore(&sb, 6, true); err != nil {
+		t.Fatalf("explore: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"Theorem 1 construction for d = 6",
+		"covering map onto a 1-node quotient multigraph: verified",
+		"portone",
+		"fibre 0 (11 nodes)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExploreOdd(t *testing.T) {
+	var sb strings.Builder
+	if err := explore(&sb, 3, false); err != nil {
+		t.Fatalf("explore: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Theorem 2 construction for d = 3", "regularodd", "feasible = true"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

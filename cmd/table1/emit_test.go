@@ -1,0 +1,42 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEmitTable(t *testing.T) {
+	var sb strings.Builder
+	if err := emit(&sb, 6, 5, 5, false, false, 1); err != nil {
+		t.Fatalf("emit: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"Table 1",
+		"d-regular (even)",
+		"d-regular (odd)",
+		"max degree Δ",
+		"rows tight",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	// Every generated row must be tight.
+	if !strings.Contains(out, "/") {
+		t.Error("no ratio fractions in output")
+	}
+}
+
+func TestEmitWithStudies(t *testing.T) {
+	var sb strings.Builder
+	if err := emit(&sb, 4, 3, 3, true, true, 1); err != nil {
+		t.Fatalf("emit: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Typical-case studies", "randomized-mm", "Locality study"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}

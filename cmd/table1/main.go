@@ -1,0 +1,38 @@
+// Command table1 regenerates Table 1 of the paper: for every graph
+// family it runs the matching algorithm on the adversarial lower-bound
+// construction and reports the measured approximation ratio as an exact
+// rational next to the paper's closed-form bound. All rows must read
+// tight=yes; anything else is a bug.
+//
+// Usage:
+//
+//	table1 [-max-even 16] [-max-odd 13] [-max-delta 13] [-study] [-scaling]
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("table1: ")
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("table1", flag.ContinueOnError)
+	maxEven := fs.Int("max-even", 16, "largest even d for the d-regular rows")
+	maxOdd := fs.Int("max-odd", 13, "largest odd d for the d-regular rows")
+	maxDelta := fs.Int("max-delta", 13, "largest Δ for the bounded-degree rows")
+	study := fs.Bool("study", false, "append random-graph typical-case studies")
+	scaling := fs.Bool("scaling", false, "append the rounds-vs-n locality study")
+	seed := fs.Int64("seed", 1, "seed for the optional studies")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	return emit(os.Stdout, *maxEven, *maxOdd, *maxDelta, *study, *scaling, *seed)
+}

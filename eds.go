@@ -1,0 +1,207 @@
+// Package eds is a Go implementation of Jukka Suomela's "Distributed
+// Algorithms for Edge Dominating Sets" (PODC 2010): deterministic
+// distributed approximation of minimum edge dominating sets in anonymous
+// port-numbered networks, with the paper's tight upper bounds implemented
+// as runnable message-passing algorithms and its matching lower-bound
+// constructions implemented as adversarial inputs.
+//
+// The package is a facade over the implementation packages:
+//
+//   - build port-numbered graphs with NewBuilder / FromUndirected, or
+//     generate classic and random families via the helpers below;
+//   - pick an algorithm with PortOne, RegularOdd, General, or let
+//     ForGraph choose the one with the optimal guarantee for your graph;
+//   - execute with Run (deterministic sequential engine) or
+//     RunConcurrent (goroutine-per-node, channel message passing);
+//   - check feasibility and quality with IsEdgeDominatingSet,
+//     MinimumEdgeDominatingSet, and TightRatio.
+//
+// A minimal session:
+//
+//	g := eds.Cycle(12)                     // 2-regular, anonymous
+//	alg, _ := eds.ForGraph(g)              // PortOne: tight 4-2/d = 3
+//	d, res, _ := eds.Run(g, alg)
+//	fmt.Println(d.Count(), "edges in", res.Rounds, "round(s)")
+package eds
+
+import (
+	"fmt"
+	"math/rand"
+
+	"eds/internal/core"
+	"eds/internal/gen"
+	"eds/internal/graph"
+	"eds/internal/ratio"
+	"eds/internal/sim"
+	"eds/internal/verify"
+)
+
+// Core types, re-exported from the implementation packages.
+type (
+	// Graph is an immutable port-numbered graph (Section 2.1 of the
+	// paper); it may be a multigraph.
+	Graph = graph.Graph
+	// Builder assembles a port-numbered graph, either edge by edge or
+	// port by port.
+	Builder = graph.Builder
+	// Port identifies port Num (1-based) of node Node.
+	Port = graph.Port
+	// Edge is one edge, identified by the two ports it connects.
+	Edge = graph.Edge
+	// EdgeSet is a set of edges of one particular graph.
+	EdgeSet = graph.EdgeSet
+	// Algorithm is a distributed algorithm in the port-numbering model.
+	Algorithm = sim.Algorithm
+	// Result carries the statistics of one execution.
+	Result = sim.Result
+	// Ratio is an exact rational approximation ratio.
+	Ratio = ratio.R
+)
+
+// NewBuilder returns a builder for a graph with n isolated nodes.
+func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
+
+// FromUndirected builds a simple port-numbered graph from an undirected
+// edge list, assigning ports in edge order.
+func FromUndirected(n int, edges [][2]int) (*Graph, error) {
+	return graph.FromUndirected(n, edges)
+}
+
+// Graph generators.
+
+// Cycle returns the n-cycle (n >= 3).
+func Cycle(n int) *Graph { return gen.Cycle(n) }
+
+// Path returns the path on n nodes.
+func Path(n int) *Graph { return gen.Path(n) }
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *Graph { return gen.Complete(n) }
+
+// CompleteBipartite returns K_{a,b}.
+func CompleteBipartite(a, b int) *Graph { return gen.CompleteBipartite(a, b) }
+
+// Hypercube returns the dim-dimensional hypercube.
+func Hypercube(dim int) *Graph { return gen.Hypercube(dim) }
+
+// Torus returns the rows x cols toroidal grid (4-regular).
+func Torus(rows, cols int) *Graph { return gen.Torus(rows, cols) }
+
+// RandomRegular returns a random simple d-regular graph on n nodes.
+func RandomRegular(rng *rand.Rand, n, d int) (*Graph, error) {
+	return gen.RandomRegular(rng, n, d)
+}
+
+// RandomBoundedDegree returns a random simple graph with maximum degree
+// at most maxDeg; each candidate edge is kept with probability p.
+func RandomBoundedDegree(rng *rand.Rand, n, maxDeg int, p float64) *Graph {
+	return gen.RandomBoundedDegree(rng, n, maxDeg, p)
+}
+
+// Algorithms.
+
+// PortOne returns the Theorem 3 algorithm: one round, factor 4 - 2/d on
+// d-regular graphs (optimal for even d).
+func PortOne() Algorithm { return core.PortOne{} }
+
+// RegularOdd returns the Theorem 4 algorithm: O(d²) rounds, factor
+// 4 - 6/(d+1) on d-regular graphs with odd d (optimal).
+func RegularOdd() Algorithm { return core.RegularOdd{} }
+
+// General returns the Theorem 5 family A(Δ) for graphs of maximum degree
+// Δ >= 2: O(Δ²) rounds, factor 4 - 1/k for Δ in {2k, 2k+1} (optimal).
+func General(delta int) Algorithm { return core.NewGeneral(delta) }
+
+// AllEdges returns the trivial algorithm selecting every edge — optimal
+// for maximum degree 1.
+func AllEdges() Algorithm { return core.AllEdges{} }
+
+// ForGraph picks the algorithm with the best worst-case guarantee for g:
+// AllEdges for max degree <= 1, PortOne for even-regular, RegularOdd for
+// odd-regular, and General(Δ) otherwise. The returned ratio is the tight
+// worst-case guarantee.
+func ForGraph(g *Graph) (Algorithm, Ratio, error) {
+	if g.MaxDegree() <= 1 {
+		return core.AllEdges{}, ratio.FromInt(1), nil
+	}
+	if d, ok := g.Regular(); ok {
+		if d%2 == 0 {
+			return core.PortOne{}, ratio.EvenRegularBound(d), nil
+		}
+		return core.RegularOdd{}, ratio.OddRegularBound(d), nil
+	}
+	return core.NewGeneral(g.MaxDegree()), ratio.BoundedDegreeBound(g.MaxDegree()), nil
+}
+
+// Run executes the algorithm on the deterministic sequential engine and
+// returns the selected edge set.
+func Run(g *Graph, a Algorithm) (*EdgeSet, *Result, error) {
+	return sim.RunToEdgeSet(g, a)
+}
+
+// RunConcurrent executes the algorithm with one goroutine per node and
+// capacity-1 channels carrying the messages, then returns the selected
+// edge set. The result is always identical to Run's.
+func RunConcurrent(g *Graph, a Algorithm) (*EdgeSet, *Result, error) {
+	res, err := sim.RunConcurrent(g, a)
+	if err != nil {
+		return nil, nil, err
+	}
+	d, err := sim.EdgeSet(g, res.Outputs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return d, res, nil
+}
+
+// Verification and baselines.
+
+// IsEdgeDominatingSet reports whether s dominates every edge of g.
+func IsEdgeDominatingSet(g *Graph, s *EdgeSet) bool {
+	return verify.IsEdgeDominatingSet(g, s)
+}
+
+// IsMaximalMatching reports whether s is a maximal matching of g.
+func IsMaximalMatching(g *Graph, s *EdgeSet) bool {
+	return verify.IsMaximalMatching(g, s)
+}
+
+// MinimumEdgeDominatingSet computes an exact minimum edge dominating set.
+// It is exponential; intended for small instances (tens of edges).
+func MinimumEdgeDominatingSet(g *Graph) *EdgeSet {
+	return verify.MinimumEdgeDominatingSet(g)
+}
+
+// GreedyMaximalMatching returns the deterministic greedy maximal
+// matching, a centralized 2-approximation baseline.
+func GreedyMaximalMatching(g *Graph) *EdgeSet {
+	return verify.GreedyMaximalMatching(g)
+}
+
+// TightRatio returns the paper's tight approximation ratio for the graph
+// family g belongs to (Table 1).
+func TightRatio(g *Graph) Ratio {
+	if g.MaxDegree() <= 1 {
+		return ratio.FromInt(1)
+	}
+	if d, ok := g.Regular(); ok {
+		if d%2 == 0 {
+			return ratio.EvenRegularBound(d)
+		}
+		return ratio.OddRegularBound(d)
+	}
+	return ratio.BoundedDegreeBound(g.MaxDegree())
+}
+
+// MeasuredRatio returns |d| / |opt| as an exact rational, where opt is
+// computed exactly (exponential; small instances only).
+func MeasuredRatio(g *Graph, d *EdgeSet) (Ratio, error) {
+	opt := verify.MinimumEdgeDominatingSet(g)
+	if opt.Count() == 0 {
+		if d.Count() == 0 {
+			return ratio.FromInt(1), nil
+		}
+		return Ratio{}, fmt.Errorf("eds: graph has no edges but %d were selected", d.Count())
+	}
+	return ratio.New(int64(d.Count()), int64(opt.Count())), nil
+}

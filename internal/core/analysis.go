@@ -1,0 +1,84 @@
+package core
+
+import (
+	"eds/internal/graph"
+)
+
+// This file contains the centralized (full-knowledge) view of the Section
+// 5 machinery. The distributed algorithms recompute the same quantities
+// from one round of label exchange; figures, reference implementations,
+// and lemma tests use these functions directly.
+
+// PeerPorts returns, for node v, the peer port number of each incident
+// edge indexed by v's own port: PeerPorts(g, v)[i-1] = j where
+// p(v, i) = (u, j).
+func PeerPorts(g *graph.Graph, v int) []int {
+	out := make([]int, g.Deg(v))
+	for i := 1; i <= g.Deg(v); i++ {
+		out[i-1] = g.P(v, i).Num
+	}
+	return out
+}
+
+// labelPairKey canonicalises an unordered label pair.
+func labelPairKey(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+// DistinguishFromPeers computes a node's distinguishable port from the
+// peer port numbers of its edges (the node-local computation of Section
+// 5). It returns the node's own port i and the peer port j of the
+// distinguishable edge, or ok = false when every label pair occurs twice.
+func DistinguishFromPeers(peers []int) (i, j int, ok bool) {
+	count := make(map[[2]int]int, len(peers))
+	for own1, peer := range peers {
+		count[labelPairKey(own1+1, peer)]++
+	}
+	for own1, peer := range peers {
+		if count[labelPairKey(own1+1, peer)] == 1 {
+			return own1 + 1, peer, true
+		}
+	}
+	return 0, 0, false
+}
+
+// DistinguishablePort returns the port of node v leading to its
+// distinguishable neighbour, with the peer port number, or ok = false if v
+// has no uniquely labelled edge. By Lemma 1, ok is always true when the
+// degree of v is odd.
+func DistinguishablePort(g *graph.Graph, v int) (i, j int, ok bool) {
+	return DistinguishFromPeers(PeerPorts(g, v))
+}
+
+// MatchingM returns the set M_G(i,j) of Section 5: all edges {v,u} such
+// that p(v,i) = (u,j) and u is the distinguishable neighbour of v. By
+// Lemma 2 the result is a matching. Note that M_G(i,j) and M_G(j,i) need
+// not be disjoint.
+func MatchingM(g *graph.Graph, i, j int) *graph.EdgeSet {
+	s := graph.NewEdgeSet(g.M())
+	for v := 0; v < g.N(); v++ {
+		di, dj, ok := DistinguishablePort(g, v)
+		if ok && di == i && dj == j {
+			s.Add(g.EdgeAt(v, i))
+		}
+	}
+	return s
+}
+
+// AllMatchings returns the full family {M_G(i,j)} for i, j in 1..deg,
+// indexed [i-1][j-1], where deg is the maximum degree of g. Used by the
+// Figure 8 reproduction.
+func AllMatchings(g *graph.Graph) [][]*graph.EdgeSet {
+	d := g.MaxDegree()
+	out := make([][]*graph.EdgeSet, d)
+	for i := 1; i <= d; i++ {
+		out[i-1] = make([]*graph.EdgeSet, d)
+		for j := 1; j <= d; j++ {
+			out[i-1][j-1] = MatchingM(g, i, j)
+		}
+	}
+	return out
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"eds/internal/gen"
+	"eds/internal/graph"
+)
+
+// figure2H rebuilds the Section 5 example graph (see the graph package
+// tests): a has no uniquely labelled edges, a is b's distinguishable
+// neighbour, d is c's distinguishable neighbour.
+func figure2H() *graph.Graph {
+	b := graph.NewBuilder(4)
+	b.MustConnect(0, 1, 2, 2)
+	b.MustConnect(0, 2, 1, 1)
+	b.MustConnect(1, 2, 3, 2)
+	b.MustConnect(2, 1, 3, 1)
+	return b.MustBuild()
+}
+
+func TestDistinguishablePortFigure2(t *testing.T) {
+	g := figure2H()
+	const a, bb, c, d = 0, 1, 2, 3
+	if _, _, ok := DistinguishablePort(g, a); ok {
+		t.Error("node a should have no distinguishable neighbour")
+	}
+	if i, _, ok := DistinguishablePort(g, bb); !ok || g.P(bb, i).Node != a {
+		t.Errorf("distinguishable neighbour of b should be a (ok=%v)", ok)
+	}
+	if i, _, ok := DistinguishablePort(g, c); !ok || g.P(c, i).Node != d {
+		t.Errorf("distinguishable neighbour of c should be d (ok=%v)", ok)
+	}
+}
+
+func TestDistinguishFromPeersTable(t *testing.T) {
+	tests := []struct {
+		name  string
+		peers []int
+		i, j  int
+		ok    bool
+	}{
+		{"degree 0", nil, 0, 0, false},
+		{"degree 1", []int{1}, 1, 1, true},
+		{"degree 1 asym", []int{7}, 1, 7, true},
+		{"all duplicate", []int{2, 1}, 0, 0, false},     // pairs {1,2},{2,1}
+		{"two unique", []int{3, 5}, 1, 3, true},         // {1,3} and {2,5}: min own port
+		{"dup then unique", []int{2, 1, 4}, 3, 4, true}, // {1,2},{2,1} dup; {3,4} unique
+		{"self pair", []int{1, 2}, 1, 1, true},          // {1,1} unique, {2,2} unique -> port 1
+		{"mixed", []int{2, 1, 1, 3}, 0, 0, false},       // {1,2},{2,1} dup; {3,1},{4,3}... unique exists
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			i, j, ok := DistinguishFromPeers(tc.peers)
+			if tc.name == "mixed" {
+				// {3,1} and {4,3} are unique; min own port is 3.
+				if !ok || i != 3 || j != 1 {
+					t.Errorf("got (%d,%d,%v), want (3,1,true)", i, j, ok)
+				}
+				return
+			}
+			if ok != tc.ok || i != tc.i || j != tc.j {
+				t.Errorf("got (%d,%d,%v), want (%d,%d,%v)", i, j, ok, tc.i, tc.j, tc.ok)
+			}
+		})
+	}
+}
+
+func randomGraph(rng *rand.Rand) *graph.Graph {
+	switch rng.Intn(4) {
+	case 0:
+		d := 1 + rng.Intn(5)
+		n := d + 1 + rng.Intn(12)
+		if n*d%2 != 0 {
+			n++
+		}
+		return gen.MustRandomRegular(rng, n, d)
+	case 1:
+		return gen.RandomBoundedDegree(rng, 4+rng.Intn(16), 1+rng.Intn(6), 0.4)
+	case 2:
+		return gen.RandomTree(rng, 2+rng.Intn(20))
+	default:
+		return gen.RelabelPorts(rng, gen.Petersen())
+	}
+}
+
+func TestLemma1OddDegreeHasDistinguishableQuick(t *testing.T) {
+	// Lemma 1: every node with odd degree has a distinguishable
+	// neighbour.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng)
+		for v := 0; v < g.N(); v++ {
+			if g.Deg(v)%2 == 1 {
+				if _, _, ok := DistinguishablePort(g, v); !ok {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLemma2MatchingQuick(t *testing.T) {
+	// Lemma 2: every M_G(i,j) is a matching.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng)
+		d := g.MaxDegree()
+		for i := 1; i <= d; i++ {
+			for j := 1; j <= d; j++ {
+				m := MatchingM(g, i, j)
+				deg := graph.DegreeIn(g, m)
+				for v := 0; v < g.N(); v++ {
+					if deg[v] > 1 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatchingsCoverOddDegreeNodesQuick(t *testing.T) {
+	// The rephrasing of Lemmas 1 and 2: the union of the M_G(i,j) covers
+	// every node of odd degree.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng)
+		union := graph.NewEdgeSet(g.M())
+		for _, row := range AllMatchings(g) {
+			for _, m := range row {
+				union.Union(m)
+			}
+		}
+		covered := graph.CoveredNodes(g, union)
+		for v := 0; v < g.N(); v++ {
+			if g.Deg(v)%2 == 1 && !covered[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatchingMMembershipDefinition(t *testing.T) {
+	// Spot-check the definition on the Petersen graph: e ∈ M_G(i,j) iff
+	// p(v,i) = (u,j) for some v whose distinguishable neighbour is u.
+	g := gen.Petersen()
+	for i := 1; i <= 3; i++ {
+		for j := 1; j <= 3; j++ {
+			m := MatchingM(g, i, j)
+			want := graph.NewEdgeSet(g.M())
+			for v := 0; v < g.N(); v++ {
+				di, dj, ok := DistinguishablePort(g, v)
+				if ok && di == i && dj == j {
+					want.Add(g.EdgeAt(v, i))
+				}
+			}
+			if !m.Equal(want) {
+				t.Errorf("M_G(%d,%d) = %v, want %v", i, j, m, want)
+			}
+		}
+	}
+}

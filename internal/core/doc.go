@@ -1,0 +1,20 @@
+// Package core implements the paper's distributed edge-dominating-set
+// algorithms as port-numbering-model state machines:
+//
+//   - PortOne — Theorem 3: O(1) rounds, factor 4 - 2/d in d-regular
+//     graphs (optimal for even d).
+//   - RegularOdd — Theorem 4: O(d²) rounds, factor 4 - 6/(d+1) in
+//     d-regular graphs for odd d (optimal).
+//   - General — Theorem 5: the family A(Δ), O(Δ²) rounds, factor 4 - 1/k
+//     in graphs of maximum degree Δ ∈ {2k, 2k+1} (optimal).
+//   - AllEdges — the trivial optimal algorithm for Δ = 1.
+//
+// It also provides the Section 5 machinery the algorithms are built on:
+// label pairs, uniquely labelled edges, distinguishable neighbours, and
+// the constant-time matchings M_G(i,j) of Lemmas 1 and 2.
+//
+// Every node state machine derives its entire round schedule from the
+// only information the model grants it — its own degree (plus the family
+// parameter Δ for General) — so the running-time claims of Table 1 are
+// directly observable as sim.Result.Rounds.
+package core

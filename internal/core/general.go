@@ -1,0 +1,341 @@
+package core
+
+import (
+	"fmt"
+
+	"eds/internal/sim"
+)
+
+// General is the Theorem 5 family A(Δ) for graphs of maximum degree Δ.
+// Given Δ = 2k+1 (an even parameter is promoted to the next odd one,
+// exactly as the paper sets A(2k) = A(2k+1)), the algorithm builds two
+// node-disjoint edge sets and outputs their union D = M ∪ P:
+//
+//	Phase I   — a greedy matching M over the distinguishable-edge
+//	            matchings M_G(i,j), processed pair by pair: add e when
+//	            neither endpoint is covered by M. Afterwards every
+//	            odd-degree node is covered by M or adjacent to a covered
+//	            node (property b).
+//	Phase II  — for i = 2..Δ: a maximal matching M_i on the bipartite
+//	            graph B_i of edges {u,v} with deg(u) < deg(v) = i and
+//	            both endpoints M-uncovered, via port-ordered proposals
+//	            from the degree-i side; M grows by M_i. Afterwards every
+//	            surviving uncovered edge joins equal-degree endpoints
+//	            (property c).
+//	Phase III — on the subgraph H of edges with both endpoints
+//	            M-uncovered, a 2-matching P dominating H: simultaneous
+//	            port-ordered proposals, each node accepting at most one
+//	            incoming proposal and retiring after one accepted
+//	            outgoing proposal — a maximal matching on the bipartite
+//	            double cover of H mapped back to H (Polishchuk–Suomela).
+//
+// The approximation factor is 4 - 1/k for max degree in {2k, 2k+1},
+// optimal by Corollary 1; the round schedule depends only on Δ.
+type General struct {
+	delta int // normalised: odd, >= 3
+}
+
+var _ sim.Algorithm = General{}
+
+// NewGeneral returns A(Δ) for graphs of maximum degree at most Δ. It
+// panics if delta < 2; use AllEdges for Δ = 1.
+func NewGeneral(delta int) General {
+	if delta < 2 {
+		panic(fmt.Sprintf("core: General needs Δ >= 2, got %d (use AllEdges for Δ = 1)", delta))
+	}
+	if delta%2 == 0 {
+		delta++ // A(2k) = A(2k+1)
+	}
+	return General{delta: delta}
+}
+
+// Name implements sim.Algorithm.
+func (a General) Name() string { return fmt.Sprintf("general(Δ=%d)", a.delta) }
+
+// Delta returns the normalised (odd) family parameter.
+func (a General) Delta() int { return a.delta }
+
+// Rounds returns the full round schedule length for the family parameter:
+// 1 label-exchange round, 2Δ² phase I rounds, Σ_{i=2..Δ} (1+2i) phase II
+// rounds, and 1+2Δ phase III rounds.
+func (a General) Rounds(int) int {
+	d := a.delta
+	total := 1 + 2*d*d
+	for i := 2; i <= d; i++ {
+		total += 1 + 2*i
+	}
+	total += 1 + 2*d
+	return total
+}
+
+// generalNode carries the mutable per-node state across the phases.
+type generalNode struct {
+	*pairState // phase I machinery; inSet = membership in M
+	delta      int
+	inP        []bool // phase III membership
+	nbrCovered []bool // neighbour M-coverage, refreshed by status rounds
+
+	// Phase II (black role) per-iteration state.
+	eligible []int // 0-based ports to propose on, in increasing order
+	ptr      int
+	matched  bool
+
+	// Shared proposal bookkeeping.
+	proposedPort  int   // 0-based port proposed on this cycle, -1 if none
+	proposalPorts []int // 0-based ports that carried proposals this cycle
+
+	// Phase III state.
+	sentAccepted     bool
+	acceptedIncoming bool
+}
+
+// NewNode implements sim.Algorithm.
+func (a General) NewNode(degree int) sim.Node {
+	st := &generalNode{
+		pairState:    newPairState(degree),
+		delta:        a.delta,
+		inP:          make([]bool, degree),
+		nbrCovered:   make([]bool, degree),
+		proposedPort: -1,
+	}
+	node := &scriptNode{deg: degree}
+	node.steps = append(node.steps, labelExchangeStep(st.pairState))
+	// Phase I: all pairs over the family parameter so every node stays on
+	// the same global schedule regardless of its own degree.
+	for i := 1; i <= a.delta; i++ {
+		for j := 1; j <= a.delta; j++ {
+			node.steps = append(node.steps, phaseIAddSteps(st.pairState, i, j, addOnlyIfNeitherCovered)...)
+		}
+	}
+	// Phase II: degree-stratified bipartite maximal matchings.
+	for i := 2; i <= a.delta; i++ {
+		node.steps = append(node.steps, phaseIIStatusStep(st, i))
+		for c := 0; c < i; c++ {
+			node.steps = append(node.steps, phaseIIProposeStep(st), phaseIIAnswerStep(st))
+		}
+	}
+	// Phase III: the 2-matching on the M-uncovered subgraph.
+	node.steps = append(node.steps, phaseIIIStatusStep(st))
+	for c := 0; c < a.delta; c++ {
+		node.steps = append(node.steps, phaseIIIProposeStep(st), phaseIIIAnswerStep(st))
+	}
+	node.output = func() []int {
+		out := make([]int, 0, degree)
+		for idx := 0; idx < degree; idx++ {
+			if st.inSet[idx] || st.inP[idx] {
+				out = append(out, idx+1)
+			}
+		}
+		return out
+	}
+	return node
+}
+
+// phaseIIStatusStep opens iteration i of phase II: everyone broadcasts
+// its M-coverage; a node of degree exactly i that is uncovered becomes
+// black and lists its eligible white neighbours (smaller degree,
+// uncovered) in increasing port order.
+func phaseIIStatusStep(st *generalNode, i int) step {
+	return step{
+		send: statusBroadcast(st),
+		recv: func(inbox []sim.Message) {
+			recordStatus(st, inbox)
+			st.eligible = st.eligible[:0]
+			st.ptr = 0
+			st.matched = false
+			if st.deg != i || st.covered() {
+				return
+			}
+			for idx := 0; idx < st.deg; idx++ {
+				if st.peerDeg[idx] < i && !st.nbrCovered[idx] {
+					st.eligible = append(st.eligible, idx)
+				}
+			}
+		},
+	}
+}
+
+// phaseIIProposeStep: every live black node proposes to its next eligible
+// white neighbour.
+func phaseIIProposeStep(st *generalNode) step {
+	return step{
+		send: func() []sim.Message {
+			st.proposedPort = -1
+			if st.matched || st.ptr >= len(st.eligible) {
+				return nil
+			}
+			st.proposedPort = st.eligible[st.ptr]
+			msgs := make([]sim.Message, st.deg)
+			msgs[st.proposedPort] = msgProposal{}
+			return msgs
+		},
+		recv: func(inbox []sim.Message) {
+			collectProposals(st, inbox)
+		},
+	}
+}
+
+// phaseIIAnswerStep: every white node answers the proposals it has just
+// received — accepting the one on its smallest port if it is still
+// unmatched in M, rejecting everything else — and the black nodes act on
+// the answers. A white that got matched in an earlier cycle of this
+// iteration is covered by M and must reject.
+func phaseIIAnswerStep(st *generalNode) step {
+	return step{
+		send: func() []sim.Message {
+			if st.covered() {
+				return rejectAll(st)
+			}
+			return answerProposals(st, func(accepted int) {
+				st.inSet[accepted] = true
+			})
+		},
+		recv: func(inbox []sim.Message) {
+			if st.proposedPort < 0 {
+				return
+			}
+			if m, ok := inbox[st.proposedPort].(msgAnswer); ok {
+				if m.Accept {
+					st.inSet[st.proposedPort] = true
+					st.matched = true
+				} else {
+					st.ptr++
+				}
+			}
+			st.proposedPort = -1
+		},
+	}
+}
+
+// phaseIIIStatusStep opens phase III: everyone broadcasts M-coverage; an
+// uncovered node lists the incident H-edges (both endpoints uncovered).
+func phaseIIIStatusStep(st *generalNode) step {
+	return step{
+		send: statusBroadcast(st),
+		recv: func(inbox []sim.Message) {
+			recordStatus(st, inbox)
+			st.eligible = st.eligible[:0]
+			st.ptr = 0
+			if st.covered() {
+				return
+			}
+			for idx := 0; idx < st.deg; idx++ {
+				if !st.nbrCovered[idx] {
+					st.eligible = append(st.eligible, idx)
+				}
+			}
+		},
+	}
+}
+
+// phaseIIIProposeStep: every H-node that has not had a proposal accepted
+// yet proposes along its next H-port.
+func phaseIIIProposeStep(st *generalNode) step {
+	return step{
+		send: func() []sim.Message {
+			st.proposedPort = -1
+			if st.covered() || st.sentAccepted || st.ptr >= len(st.eligible) {
+				return nil
+			}
+			st.proposedPort = st.eligible[st.ptr]
+			msgs := make([]sim.Message, st.deg)
+			msgs[st.proposedPort] = msgProposal{}
+			return msgs
+		},
+		recv: func(inbox []sim.Message) {
+			collectProposals(st, inbox)
+		},
+	}
+}
+
+// phaseIIIAnswerStep: each H-node accepts the first incoming proposal of
+// its life (smallest port this cycle) and rejects all others; proposers
+// act on the answers. Accepted edges form the 2-matching P.
+func phaseIIIAnswerStep(st *generalNode) step {
+	return step{
+		send: func() []sim.Message {
+			if st.acceptedIncoming {
+				return rejectAll(st)
+			}
+			return answerProposals(st, func(accepted int) {
+				st.inP[accepted] = true
+				st.acceptedIncoming = true
+			})
+		},
+		recv: func(inbox []sim.Message) {
+			if st.proposedPort < 0 {
+				return
+			}
+			if m, ok := inbox[st.proposedPort].(msgAnswer); ok {
+				if m.Accept {
+					st.inP[st.proposedPort] = true
+					st.sentAccepted = true
+				} else {
+					st.ptr++
+				}
+			}
+			st.proposedPort = -1
+		},
+	}
+}
+
+// statusBroadcast sends the node's M-coverage flag on every port.
+func statusBroadcast(st *generalNode) func() []sim.Message {
+	return func() []sim.Message {
+		msgs := make([]sim.Message, st.deg)
+		cov := st.covered()
+		for idx := range msgs {
+			msgs[idx] = msgStatus{Covered: cov}
+		}
+		return msgs
+	}
+}
+
+// recordStatus stores the neighbours' coverage flags.
+func recordStatus(st *generalNode, inbox []sim.Message) {
+	for idx, m := range inbox {
+		if s, ok := m.(msgStatus); ok {
+			st.nbrCovered[idx] = s.Covered
+		}
+	}
+}
+
+// collectProposals notes which ports carried proposals this cycle,
+// reusing nbr bookkeeping in proposalPorts.
+func collectProposals(st *generalNode, inbox []sim.Message) {
+	st.proposalPorts = st.proposalPorts[:0]
+	for idx, m := range inbox {
+		if _, ok := m.(msgProposal); ok {
+			st.proposalPorts = append(st.proposalPorts, idx)
+		}
+	}
+}
+
+// answerProposals accepts the smallest-port proposal (invoking onAccept
+// with the 0-based port) and rejects the rest. With no proposals it sends
+// nothing.
+func answerProposals(st *generalNode, onAccept func(accepted int)) []sim.Message {
+	if len(st.proposalPorts) == 0 {
+		return nil
+	}
+	msgs := make([]sim.Message, st.deg)
+	accepted := st.proposalPorts[0] // smallest port: inbox scanned in order
+	onAccept(accepted)
+	msgs[accepted] = msgAnswer{Accept: true}
+	for _, idx := range st.proposalPorts[1:] {
+		msgs[idx] = msgAnswer{Accept: false}
+	}
+	return msgs
+}
+
+// rejectAll rejects every proposal received this cycle.
+func rejectAll(st *generalNode) []sim.Message {
+	if len(st.proposalPorts) == 0 {
+		return nil
+	}
+	msgs := make([]sim.Message, st.deg)
+	for _, idx := range st.proposalPorts {
+		msgs[idx] = msgAnswer{Accept: false}
+	}
+	return msgs
+}

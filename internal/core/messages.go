@@ -1,0 +1,59 @@
+package core
+
+// Message payloads exchanged by the algorithms. They are deliberately
+// tiny: the port-numbering model does not bound message size, but every
+// protocol in the paper needs only a few bits per round.
+
+// msgMark marks an edge as selected (Theorem 3).
+type msgMark struct{}
+
+// msgLabel carries the sender's port number and degree over that port; the
+// receiving endpoint learns the edge's label pair and its neighbour's
+// degree (the first round of Theorems 4 and 5).
+type msgLabel struct {
+	Port int
+	Deg  int
+}
+
+// msgPropose opens the two-round processing of one distinguishable edge in
+// M_G(i,j): the proposer is the node whose distinguishable edge this is.
+// Covered reports whether the proposer is already covered by the set under
+// construction.
+type msgPropose struct {
+	Covered bool
+}
+
+// msgRespond closes the two-round processing of one distinguishable edge;
+// Add is the joint decision.
+type msgRespond struct {
+	Add bool
+}
+
+// msgProbe opens the two-round pruning of one edge of D ∩ M_G(i,j) in
+// phase II of Theorem 4. OtherCovered reports whether the probing endpoint
+// remains covered by D \ {e}.
+type msgProbe struct {
+	OtherCovered bool
+}
+
+// msgProbeRespond closes the pruning exchange; Remove is the joint
+// decision.
+type msgProbeRespond struct {
+	Remove bool
+}
+
+// msgStatus broadcasts whether the sender is covered by the matching M
+// (phases II and III of Theorem 5).
+type msgStatus struct {
+	Covered bool
+}
+
+// msgProposal is a matching proposal in the proposal-based subroutines
+// (phase II bipartite matching and phase III double-cover 2-matching of
+// Theorem 5).
+type msgProposal struct{}
+
+// msgAnswer replies to a msgProposal.
+type msgAnswer struct {
+	Accept bool
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"eds/internal/sim"
+)
+
+// pairState is the node state shared by the protocols built on
+// distinguishable edges (Theorems 4 and 5): the label-exchange results,
+// the distinguishable port, and the per-port membership flags of the set
+// under construction.
+type pairState struct {
+	deg     int
+	peer    []int // peer port number per own port
+	peerDeg []int // neighbour degree per own port
+	dp      int   // own port of the distinguishable edge, 0 if none
+	dpPeer  int   // peer port of the distinguishable edge
+	inSet   []bool
+
+	gotProposal bool
+	propCovered bool
+	gotProbe    bool
+	probeOther  bool
+}
+
+func newPairState(degree int) *pairState {
+	return &pairState{
+		deg:     degree,
+		peer:    make([]int, degree),
+		peerDeg: make([]int, degree),
+		inSet:   make([]bool, degree),
+	}
+}
+
+func (st *pairState) covered() bool {
+	for _, in := range st.inSet {
+		if in {
+			return true
+		}
+	}
+	return false
+}
+
+func (st *pairState) degInSet() int {
+	c := 0
+	for _, in := range st.inSet {
+		if in {
+			c++
+		}
+	}
+	return c
+}
+
+// labelExchangeStep is the common first round: every node tells each
+// neighbour through which port it is talking to it and what its degree
+// is. Both endpoints of every edge learn the edge's label pair, so the
+// distinguishable port follows locally (Section 5).
+func labelExchangeStep(st *pairState) step {
+	return step{
+		send: func() []sim.Message {
+			msgs := make([]sim.Message, st.deg)
+			for idx := range msgs {
+				msgs[idx] = msgLabel{Port: idx + 1, Deg: st.deg}
+			}
+			return msgs
+		},
+		recv: func(inbox []sim.Message) {
+			for idx, m := range inbox {
+				lbl := m.(msgLabel)
+				st.peer[idx] = lbl.Port
+				st.peerDeg[idx] = lbl.Deg
+			}
+			st.dp, st.dpPeer, _ = DistinguishFromPeers(st.peer)
+		},
+	}
+}
+
+// addRule decides whether a processed distinguishable edge joins the set,
+// given the two endpoints' covered flags.
+type addRule func(coveredProposer, coveredResponder bool) bool
+
+// addUnlessBothCovered is the Theorem 4 phase I rule: D grows into an
+// edge cover ("if both endpoints of e are already covered by D, we ignore
+// e, otherwise we add e to D").
+func addUnlessBothCovered(p, r bool) bool { return !(p && r) }
+
+// addOnlyIfNeitherCovered is the Theorem 5 phase I rule: M stays a
+// matching ("if neither u nor v is covered by M, we add e to M").
+func addOnlyIfNeitherCovered(p, r bool) bool { return !p && !r }
+
+// phaseIAddSteps processes the pair (i,j): the proposer is a node whose
+// distinguishable edge runs from its port i to the peer's port j. Two
+// rounds: propose carrying the proposer's covered flag, respond carrying
+// the joint decision. When i == j the edge may be proposed from both
+// sides at once; the rule is symmetric, so both sides decide identically
+// and the updates are idempotent. By Lemma 2 the processed edges form a
+// matching, making the parallel decisions independent.
+func phaseIAddSteps(st *pairState, i, j int, rule addRule) []step {
+	propose := step{
+		send: func() []sim.Message {
+			if st.dp != i || st.dpPeer != j {
+				return nil
+			}
+			msgs := make([]sim.Message, st.deg)
+			msgs[i-1] = msgPropose{Covered: st.covered()}
+			return msgs
+		},
+		recv: func(inbox []sim.Message) {
+			st.gotProposal = false
+			if j <= st.deg {
+				if m, ok := inbox[j-1].(msgPropose); ok {
+					st.gotProposal = true
+					st.propCovered = m.Covered
+				}
+			}
+		},
+	}
+	respond := step{
+		send: func() []sim.Message {
+			if !st.gotProposal {
+				return nil
+			}
+			add := rule(st.propCovered, st.covered())
+			msgs := make([]sim.Message, st.deg)
+			msgs[j-1] = msgRespond{Add: add}
+			if add {
+				st.inSet[j-1] = true
+			}
+			return msgs
+		},
+		recv: func(inbox []sim.Message) {
+			if st.dp == i && st.dpPeer == j {
+				if m, ok := inbox[i-1].(msgRespond); ok && m.Add {
+					st.inSet[i-1] = true
+				}
+			}
+			st.gotProposal = false
+		},
+	}
+	return []step{propose, respond}
+}
+
+// phaseIIPruneSteps processes D ∩ M_G(i,j) in phase II of Theorem 4: the
+// proposer probes its distinguishable edge if the edge is still in D,
+// both endpoints report whether they stay covered without it, and the
+// edge is removed exactly when both do.
+func phaseIIPruneSteps(st *pairState, i, j int) []step {
+	probe := step{
+		send: func() []sim.Message {
+			if st.dp != i || st.dpPeer != j || !st.inSet[i-1] {
+				return nil
+			}
+			msgs := make([]sim.Message, st.deg)
+			msgs[i-1] = msgProbe{OtherCovered: st.degInSet() >= 2}
+			return msgs
+		},
+		recv: func(inbox []sim.Message) {
+			st.gotProbe = false
+			if j <= st.deg {
+				if m, ok := inbox[j-1].(msgProbe); ok {
+					st.gotProbe = true
+					st.probeOther = m.OtherCovered
+				}
+			}
+		},
+	}
+	respond := step{
+		send: func() []sim.Message {
+			if !st.gotProbe {
+				return nil
+			}
+			remove := st.probeOther && st.degInSet() >= 2
+			msgs := make([]sim.Message, st.deg)
+			msgs[j-1] = msgProbeRespond{Remove: remove}
+			if remove {
+				st.inSet[j-1] = false
+			}
+			return msgs
+		},
+		recv: func(inbox []sim.Message) {
+			if st.dp == i && st.dpPeer == j {
+				if m, ok := inbox[i-1].(msgProbeRespond); ok && m.Remove {
+					st.inSet[i-1] = false
+				}
+			}
+			st.gotProbe = false
+		},
+	}
+	return []step{probe, respond}
+}

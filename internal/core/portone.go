@@ -1,0 +1,88 @@
+package core
+
+import (
+	"eds/internal/sim"
+)
+
+// PortOne is the Theorem 3 algorithm: output all edges that are connected
+// to a port with port number 1. It runs in exactly one communication
+// round and achieves factor 4 - 2/d on d-regular graphs, which is optimal
+// for even d (Theorem 1).
+//
+// The selected set D covers every node (each node's port-1 edge is in D),
+// so D is an edge cover and therefore an edge dominating set. Since each
+// node contributes at most one port-1 edge, |D| <= |V|.
+type PortOne struct{}
+
+var _ sim.Algorithm = PortOne{}
+
+// Name implements sim.Algorithm.
+func (PortOne) Name() string { return "portone" }
+
+// Rounds returns the round count of the algorithm: always 1.
+func (PortOne) Rounds(int) int { return 1 }
+
+// NewNode implements sim.Algorithm.
+func (PortOne) NewNode(degree int) sim.Node {
+	chosen := make([]bool, degree)
+	n := &scriptNode{deg: degree}
+	n.steps = []step{{
+		send: func() []sim.Message {
+			msgs := make([]sim.Message, degree)
+			if degree >= 1 {
+				msgs[0] = msgMark{}
+			}
+			return msgs
+		},
+		recv: func(inbox []sim.Message) {
+			if degree >= 1 {
+				chosen[0] = true
+			}
+			for idx, m := range inbox {
+				if _, ok := m.(msgMark); ok {
+					chosen[idx] = true
+				}
+			}
+		},
+	}}
+	n.output = func() []int { return chosenPorts(chosen) }
+	return n
+}
+
+// AllEdges is the trivial algorithm that selects every edge, with no
+// communication at all. For graphs of maximum degree 1 it is exactly
+// optimal (the Δ = 1 row of Table 1): every edge of a perfect matching
+// must be in any edge dominating set.
+type AllEdges struct{}
+
+var _ sim.Algorithm = AllEdges{}
+
+// Name implements sim.Algorithm.
+func (AllEdges) Name() string { return "alledges" }
+
+// Rounds returns the round count of the algorithm: always 0.
+func (AllEdges) Rounds(int) int { return 0 }
+
+// NewNode implements sim.Algorithm.
+func (AllEdges) NewNode(degree int) sim.Node {
+	n := &scriptNode{deg: degree}
+	n.output = func() []int {
+		out := make([]int, degree)
+		for i := range out {
+			out[i] = i + 1
+		}
+		return out
+	}
+	return n
+}
+
+// chosenPorts converts a per-port flag vector into a 1-based port list.
+func chosenPorts(chosen []bool) []int {
+	out := make([]int, 0, len(chosen))
+	for idx, c := range chosen {
+		if c {
+			out = append(out, idx+1)
+		}
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"eds/internal/gen"
+	"eds/internal/sim"
+)
+
+// TestRegularOddPhaseWindows verifies the protocol structure round by
+// round: label exchange exactly in round 0, only propose/respond traffic
+// during phase I (rounds 1..2d²), only probe traffic during phase II.
+func TestRegularOddPhaseWindows(t *testing.T) {
+	g := gen.Complete(4) // 3-regular
+	const d = 3
+	tr, opt := sim.NewTrace()
+	if _, err := sim.RunSequential(g, RegularOdd{}, opt); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(tr.Rounds) != 1+4*d*d {
+		t.Fatalf("rounds = %d, want %d", len(tr.Rounds), 1+4*d*d)
+	}
+	for _, r := range tr.Rounds {
+		for typ := range r.ByType {
+			var ok bool
+			switch {
+			case r.Round == 0:
+				ok = typ == fmt.Sprintf("%T", msgLabel{})
+			case r.Round <= 2*d*d:
+				ok = typ == fmt.Sprintf("%T", msgPropose{}) || typ == fmt.Sprintf("%T", msgRespond{})
+			default:
+				ok = typ == fmt.Sprintf("%T", msgProbe{}) || typ == fmt.Sprintf("%T", msgProbeRespond{})
+			}
+			if !ok {
+				t.Errorf("round %d: unexpected message type %s", r.Round, typ)
+			}
+		}
+	}
+}
+
+// TestGeneralPhaseWindows does the same for A(Δ): label exchange, phase
+// I pair traffic, then only status/proposal/answer traffic.
+func TestGeneralPhaseWindows(t *testing.T) {
+	g := gen.Petersen()
+	alg := NewGeneral(3)
+	delta := alg.Delta()
+	tr, opt := sim.NewTrace()
+	if _, err := sim.RunSequential(g, alg, opt); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	phaseIEnd := 2 * delta * delta // rounds 1..phaseIEnd are phase I
+	for _, r := range tr.Rounds {
+		for typ := range r.ByType {
+			var ok bool
+			switch {
+			case r.Round == 0:
+				ok = typ == fmt.Sprintf("%T", msgLabel{})
+			case r.Round <= phaseIEnd:
+				ok = typ == fmt.Sprintf("%T", msgPropose{}) || typ == fmt.Sprintf("%T", msgRespond{})
+			default:
+				ok = typ == fmt.Sprintf("%T", msgStatus{}) ||
+					typ == fmt.Sprintf("%T", msgProposal{}) ||
+					typ == fmt.Sprintf("%T", msgAnswer{})
+			}
+			if !ok {
+				t.Errorf("round %d: unexpected message type %s", r.Round, typ)
+			}
+		}
+	}
+	// The status broadcasts happen in exactly Δ rounds (one per phase II
+	// iteration plus the phase III opener).
+	statusRounds := 0
+	for _, r := range tr.Rounds {
+		if r.ByType[fmt.Sprintf("%T", msgStatus{})] > 0 {
+			statusRounds++
+		}
+	}
+	if want := delta - 1 + 1; statusRounds != want {
+		t.Errorf("status rounds = %d, want %d", statusRounds, want)
+	}
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"eds/internal/sim"
+)
+
+// step is one synchronous round of a node's protocol: send composes the
+// outgoing messages (nil entries are empty messages), recv consumes the
+// round's inbox.
+type step struct {
+	send func() []sim.Message
+	recv func(inbox []sim.Message)
+}
+
+// scriptNode drives a fixed sequence of steps, one per round. Because the
+// paper's algorithms have deterministic round schedules that depend only
+// on the node's degree (and the family parameter Δ), a protocol is fully
+// described by its step list; the node stops when the list is exhausted.
+type scriptNode struct {
+	deg    int
+	steps  []step
+	pc     int
+	output func() []int
+}
+
+var _ sim.Node = (*scriptNode)(nil)
+
+func (s *scriptNode) Send(round int) []sim.Message {
+	if out := s.steps[s.pc].send; out != nil {
+		msgs := out()
+		if msgs == nil {
+			msgs = make([]sim.Message, s.deg)
+		}
+		return msgs
+	}
+	return make([]sim.Message, s.deg)
+}
+
+func (s *scriptNode) Receive(round int, inbox []sim.Message) {
+	if recv := s.steps[s.pc].recv; recv != nil {
+		recv(inbox)
+	}
+	s.pc++
+}
+
+func (s *scriptNode) Done() bool { return s.pc >= len(s.steps) }
+
+func (s *scriptNode) Output() []int {
+	if s.output == nil {
+		return nil
+	}
+	return s.output()
+}
+
+// silent returns a no-op step, used to keep heterogeneous-degree nodes
+// aligned on a common global round schedule.
+func silent() step { return step{} }

@@ -1,0 +1,99 @@
+// Package cover implements covering maps between port-numbered graphs
+// (Section 2.3 of the paper).
+//
+// A covering map f: V_H -> V_G preserves degrees and connections. Its key
+// consequence — the engine behind all of the paper's lower bounds — is
+// that a deterministic distributed algorithm cannot distinguish a node v
+// of H from the node f(v) of G: both produce identical outputs. The
+// companion test in internal/sim checks this lemma empirically for every
+// algorithm in the repository.
+package cover
+
+import (
+	"fmt"
+
+	"eds/internal/graph"
+)
+
+// Verify checks that f (a map from nodes of h to nodes of g) is a covering
+// map from h to g: surjective, degree-preserving, and connection-
+// preserving. It returns nil when all three conditions hold.
+func Verify(h, g *graph.Graph, f []int) error {
+	if len(f) != h.N() {
+		return fmt.Errorf("cover: map has %d entries for %d nodes", len(f), h.N())
+	}
+	hit := make([]bool, g.N())
+	for v, fv := range f {
+		if fv < 0 || fv >= g.N() {
+			return fmt.Errorf("cover: f(%d)=%d out of range [0,%d)", v, fv, g.N())
+		}
+		hit[fv] = true
+		if h.Deg(v) != g.Deg(fv) {
+			return fmt.Errorf("cover: degree not preserved at node %d: %d vs %d", v, h.Deg(v), g.Deg(fv))
+		}
+	}
+	for v := range hit {
+		if !hit[v] {
+			return fmt.Errorf("cover: not surjective: node %d of the base graph is not covered", v)
+		}
+	}
+	for v := 0; v < h.N(); v++ {
+		for i := 1; i <= h.Deg(v); i++ {
+			q := h.P(v, i)
+			want := graph.Port{Node: f[q.Node], Num: q.Num}
+			if got := g.P(f[v], i); got != want {
+				return fmt.Errorf("cover: connection not preserved: p_H(%d,%d)=%v but p_G(%d,%d)=%v, want %v",
+					v, i, q, f[v], i, got, want)
+			}
+		}
+	}
+	return nil
+}
+
+// BipartiteDoubleCover returns the bipartite double cover H' of g together
+// with the covering map from H' back onto g. Node v of g becomes the two
+// nodes 2v (white copy) and 2v+1 (black copy); every edge {u,v} of g with
+// ports (i, j) becomes the two edges joining opposite-colour copies with
+// the same port numbers. The double cover of a connected non-bipartite
+// graph is connected; of a bipartite graph, two disjoint copies.
+//
+// Phase III of the paper's Theorem 5 algorithm is exactly a maximal
+// matching computed on this double cover and mapped back (Polishchuk and
+// Suomela 2009).
+func BipartiteDoubleCover(g *graph.Graph) (*graph.Graph, []int) {
+	b := graph.NewBuilder(2 * g.N())
+	for _, e := range g.Edges() {
+		// Directed loops map to a single edge between the two copies;
+		// everything else doubles.
+		if e.IsDirectedLoop() {
+			b.MustConnect(2*e.A.Node, e.A.Num, 2*e.A.Node+1, e.A.Num)
+			continue
+		}
+		b.MustConnect(2*e.A.Node, e.A.Num, 2*e.B.Node+1, e.B.Num)
+		b.MustConnect(2*e.A.Node+1, e.A.Num, 2*e.B.Node, e.B.Num)
+	}
+	f := make([]int, 2*g.N())
+	for v := 0; v < g.N(); v++ {
+		f[2*v] = v
+		f[2*v+1] = v
+	}
+	return b.MustBuild(), f
+}
+
+// Identity returns the identity covering map of g onto itself.
+func Identity(g *graph.Graph) []int {
+	f := make([]int, g.N())
+	for v := range f {
+		f[v] = v
+	}
+	return f
+}
+
+// Compose returns the composition g∘f of covering maps (apply f, then g).
+func Compose(f, g []int) []int {
+	out := make([]int, len(f))
+	for v, fv := range f {
+		out[v] = g[fv]
+	}
+	return out
+}

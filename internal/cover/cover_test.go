@@ -1,0 +1,153 @@
+package cover
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"eds/internal/gen"
+	"eds/internal/graph"
+)
+
+// cycleOverLoopNode builds the textbook example: the 2n-cycle with
+// alternating pair ports covers the one-node multigraph with a single
+// undirected loop numbered (1,2).
+func cycleOverLoopNode(n int) (h, g *graph.Graph, f []int) {
+	bh := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		bh.MustConnect(v, 1, (v+1)%n, 2)
+	}
+	bg := graph.NewBuilder(1)
+	bg.MustConnect(0, 1, 0, 2)
+	f = make([]int, n)
+	return bh.MustBuild(), bg.MustBuild(), f
+}
+
+func TestVerifyCycleOverLoop(t *testing.T) {
+	h, g, f := cycleOverLoopNode(6)
+	if err := Verify(h, g, f); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestVerifyRejects(t *testing.T) {
+	h, g, f := cycleOverLoopNode(6)
+	t.Run("wrong length", func(t *testing.T) {
+		if err := Verify(h, g, f[:3]); err == nil {
+			t.Error("short map accepted")
+		}
+	})
+	t.Run("out of range", func(t *testing.T) {
+		bad := append([]int(nil), f...)
+		bad[0] = 7
+		if err := Verify(h, g, bad); err == nil {
+			t.Error("out-of-range map accepted")
+		}
+	})
+	t.Run("degree mismatch", func(t *testing.T) {
+		p3 := gen.Path(3) // degrees 1,2,1
+		id := Identity(p3)
+		id[0] = 1 // map a degree-1 node onto a degree-2 node
+		if err := Verify(p3, p3, id); err == nil {
+			t.Error("degree mismatch accepted")
+		}
+	})
+	t.Run("not surjective", func(t *testing.T) {
+		c6 := gen.Cycle(6)
+		m := make([]int, 6) // all onto node 0 of a 6-node graph
+		if err := Verify(c6, c6, m); err == nil {
+			t.Error("non-surjective map accepted")
+		}
+	})
+	t.Run("connection mismatch", func(t *testing.T) {
+		// Two disjoint port-numbered edges with swapped numbering do not
+		// cover each other under the identity-like map.
+		b1 := graph.NewBuilder(2)
+		b1.MustConnect(0, 1, 1, 1)
+		g1 := b1.MustBuild()
+		b2 := graph.NewBuilder(2)
+		b2.MustConnect(0, 1, 1, 1)
+		g2 := b2.MustBuild()
+		// Maps both endpoints of g1's edge onto node 0 of g2: p(0,1)
+		// should then be (0,1), but it is (1,1).
+		if err := Verify(g1, g2, []int{0, 0}); err == nil {
+			t.Error("connection mismatch accepted")
+		}
+	})
+}
+
+func TestIdentityIsACoveringMap(t *testing.T) {
+	for _, g := range []*graph.Graph{gen.Cycle(5), gen.Petersen(), gen.Complete(4)} {
+		if err := Verify(g, g, Identity(g)); err != nil {
+			t.Errorf("identity rejected: %v", err)
+		}
+	}
+}
+
+func TestBipartiteDoubleCoverQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 2 + rng.Intn(3)
+		n := d + 1 + rng.Intn(10)
+		if n*d%2 != 0 {
+			n++
+		}
+		g, err := gen.RandomRegular(rng, n, d)
+		if err != nil {
+			return false
+		}
+		h, cmap := BipartiteDoubleCover(g)
+		if h.N() != 2*g.N() || h.M() != 2*g.M() {
+			return false
+		}
+		if err := Verify(h, g, cmap); err != nil {
+			return false
+		}
+		// The double cover is bipartite: all edges join an even node to
+		// an odd node.
+		for _, e := range h.Edges() {
+			if e.U()%2 == e.V()%2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBipartiteDoubleCoverOfBipartiteIsTwoCopies(t *testing.T) {
+	g := gen.CompleteBipartite(3, 3)
+	h, cmap := BipartiteDoubleCover(g)
+	if err := Verify(h, g, cmap); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	// The double cover of a connected bipartite graph has exactly two
+	// components.
+	_, components := graph.Components(h)
+	if components != 2 {
+		t.Errorf("double cover of bipartite graph has %d components, want 2", components)
+	}
+}
+
+func TestCompose(t *testing.T) {
+	// C8 covers C4 covers the loop node; the composition covers too.
+	h8, _, _ := cycleOverLoopNode(8)
+	h4, g1, _ := cycleOverLoopNode(4)
+	f84 := make([]int, 8)
+	for v := range f84 {
+		f84[v] = v % 4
+	}
+	if err := Verify(h8, h4, f84); err != nil {
+		t.Fatalf("C8 over C4: %v", err)
+	}
+	f41 := make([]int, 4)
+	if err := Verify(h4, g1, f41); err != nil {
+		t.Fatalf("C4 over loop: %v", err)
+	}
+	comp := Compose(f84, f41)
+	if err := Verify(h8, g1, comp); err != nil {
+		t.Fatalf("composition: %v", err)
+	}
+}

@@ -1,0 +1,221 @@
+// Package factor implements Petersen's 2-factorisation theorem (1891) and
+// the port numberings derived from it.
+//
+// The paper's lower-bound constructions (Sections 3.2 and 4.1) need the
+// following classical pipeline: any 2k-regular multigraph has an Euler
+// orientation (in-degree = out-degree = k at every node); the orientation
+// induces a k-regular bipartite multigraph on out/in copies of the nodes;
+// a k-regular bipartite multigraph decomposes into k perfect matchings;
+// each perfect matching pulls back to a 2-factor, i.e. a spanning
+// collection of directed cycles. Assigning p(u, 2i-1) = (v, 2i) along the
+// directed cycles of factor i yields the adversarial "pair" port numbering
+// used in Theorems 1 and 2.
+package factor
+
+import (
+	"fmt"
+)
+
+// Multi is a lightweight undirected multigraph given by an edge list.
+// Loops (U == V) and parallel edges are allowed. It is the input
+// representation for factorisation; port numbers do not exist yet at this
+// stage — producing them is the point.
+type Multi struct {
+	N     int
+	Edges [][2]int
+}
+
+// Degrees returns the degree sequence; a loop contributes 2 to its node.
+func (m Multi) Degrees() []int {
+	deg := make([]int, m.N)
+	for _, e := range m.Edges {
+		deg[e[0]]++
+		deg[e[1]]++
+	}
+	return deg
+}
+
+// Regular returns the common degree, or an error if the graph is not
+// regular.
+func (m Multi) Regular() (int, error) {
+	deg := m.Degrees()
+	if m.N == 0 {
+		return 0, nil
+	}
+	for v, d := range deg {
+		if d != deg[0] {
+			return 0, fmt.Errorf("factor: not regular: deg(%d)=%d vs deg(0)=%d", v, d, deg[0])
+		}
+	}
+	return deg[0], nil
+}
+
+// Arc is a directed traversal of edge Edge from Tail to Head.
+type Arc struct {
+	Edge       int
+	Tail, Head int
+}
+
+// EulerOrientation orients every edge so that each node has equal
+// in-degree and out-degree. It requires every degree to be even (loops
+// count twice) and works per connected component via Hierholzer's
+// algorithm. The result has one arc per edge, indexed arbitrarily.
+func EulerOrientation(m Multi) ([]Arc, error) {
+	for v, d := range m.Degrees() {
+		if d%2 != 0 {
+			return nil, fmt.Errorf("factor: node %d has odd degree %d; Euler orientation impossible", v, d)
+		}
+	}
+	// incidence[v] = list of (edge index, endpoint slot) pairs; a loop
+	// appears twice at its node.
+	type half struct {
+		edge int
+		slot int // 0 or 1: which endpoint of the edge this half is
+	}
+	incidence := make([][]half, m.N)
+	for ei, e := range m.Edges {
+		incidence[e[0]] = append(incidence[e[0]], half{edge: ei, slot: 0})
+		incidence[e[1]] = append(incidence[e[1]], half{edge: ei, slot: 1})
+	}
+	usedEdge := make([]bool, len(m.Edges))
+	next := make([]int, m.N) // per-node pointer into incidence
+	arcs := make([]Arc, 0, len(m.Edges))
+	// Hierholzer: walk greedily from each node with unused edges, closing
+	// circuits; orientation = walk direction.
+	var walk func(start int)
+	walk = func(start int) {
+		stack := []int{start}
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			advanced := false
+			for next[v] < len(incidence[v]) {
+				h := incidence[v][next[v]]
+				next[v]++
+				if usedEdge[h.edge] {
+					continue
+				}
+				usedEdge[h.edge] = true
+				e := m.Edges[h.edge]
+				u := e[1-h.slot] // the other endpoint
+				arcs = append(arcs, Arc{Edge: h.edge, Tail: v, Head: u})
+				stack = append(stack, u)
+				advanced = true
+				break
+			}
+			if !advanced {
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	for v := 0; v < m.N; v++ {
+		walk(v)
+	}
+	if len(arcs) != len(m.Edges) {
+		return nil, fmt.Errorf("factor: internal error: oriented %d of %d edges", len(arcs), len(m.Edges))
+	}
+	return arcs, nil
+}
+
+// TwoFactorise partitions the edges of a 2k-regular multigraph into k
+// oriented 2-factors (Petersen 1891). Each factor is returned as a set of
+// arcs in which every node has out-degree and in-degree exactly 1, i.e.
+// a spanning union of directed cycles.
+func TwoFactorise(m Multi) ([][]Arc, error) {
+	d, err := m.Regular()
+	if err != nil {
+		return nil, err
+	}
+	if d%2 != 0 {
+		return nil, fmt.Errorf("factor: degree %d is odd; 2-factorisation needs a 2k-regular graph", d)
+	}
+	k := d / 2
+	if k == 0 {
+		return nil, nil
+	}
+	arcs, err := EulerOrientation(m)
+	if err != nil {
+		return nil, err
+	}
+	// Bipartite multigraph B: left = out-copies, right = in-copies; each
+	// arc is an edge (tail_out, head_in). B is k-regular; peel off k
+	// perfect matchings with Kuhn's augmenting-path algorithm.
+	remaining := make([]bool, len(arcs))
+	for i := range remaining {
+		remaining[i] = true
+	}
+	outArcs := make([][]int, m.N)
+	for ai, a := range arcs {
+		outArcs[a.Tail] = append(outArcs[a.Tail], ai)
+	}
+	factors := make([][]Arc, 0, k)
+	for round := 0; round < k; round++ {
+		matchL := make([]int, m.N) // node -> arc index matched on its out-copy
+		matchR := make([]int, m.N) // node -> arc index matched on its in-copy
+		for i := range matchL {
+			matchL[i] = -1
+			matchR[i] = -1
+		}
+		var try func(u int, visited []bool) bool
+		try = func(u int, visited []bool) bool {
+			for _, ai := range outArcs[u] {
+				if !remaining[ai] {
+					continue
+				}
+				v := arcs[ai].Head
+				if visited[v] {
+					continue
+				}
+				visited[v] = true
+				if matchR[v] == -1 || try(arcs[matchR[v]].Tail, visited) {
+					matchL[u] = ai
+					matchR[v] = ai
+					return true
+				}
+			}
+			return false
+		}
+		for u := 0; u < m.N; u++ {
+			if matchL[u] == -1 {
+				visited := make([]bool, m.N)
+				if !try(u, visited) {
+					return nil, fmt.Errorf("factor: no perfect matching in round %d; graph is not %d-regular?", round, d)
+				}
+			}
+		}
+		factor := make([]Arc, 0, m.N)
+		for u := 0; u < m.N; u++ {
+			ai := matchL[u]
+			factor = append(factor, arcs[ai])
+			remaining[ai] = false
+		}
+		factors = append(factors, factor)
+	}
+	return factors, nil
+}
+
+// PortAssignment records that port PU of node U is connected to port PV of
+// node V. For a directed loop U == V and PU == PV.
+type PortAssignment struct {
+	U, V   int
+	PU, PV int
+}
+
+// PairPorts computes the adversarial pair port numbering of a 2k-regular
+// multigraph: the edges of the i-th 2-factor (i = 1..k) connect port 2i-1
+// of the arc's tail to port 2i of the arc's head, exactly as in Sections
+// 3.2 and 4.1 of the paper. The assignments are returned in arbitrary
+// order; every node ends up using each port 1..2k exactly once.
+func PairPorts(m Multi) ([]PortAssignment, error) {
+	factors, err := TwoFactorise(m)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]PortAssignment, 0, len(m.Edges))
+	for fi, factor := range factors {
+		lo, hi := 2*fi+1, 2*fi+2
+		for _, a := range factor {
+			out = append(out, PortAssignment{U: a.Tail, V: a.Head, PU: lo, PV: hi})
+		}
+	}
+	return out, nil
+}

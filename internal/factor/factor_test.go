@@ -1,0 +1,256 @@
+package factor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"eds/internal/gen"
+	"eds/internal/graph"
+)
+
+func TestEulerOrientationBalanced(t *testing.T) {
+	tests := []struct {
+		name string
+		m    Multi
+	}{
+		{"cycle4", Multi{N: 4, Edges: [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}}}},
+		{"two loops", Multi{N: 1, Edges: [][2]int{{0, 0}, {0, 0}}}},
+		{"parallel", Multi{N: 2, Edges: [][2]int{{0, 1}, {0, 1}}}},
+		{"theta", Multi{N: 2, Edges: [][2]int{{0, 1}, {0, 1}, {0, 1}, {0, 1}}}},
+		{"K5", func() Multi {
+			m, err := FromGraph(gen.Complete(5))
+			if err != nil {
+				panic(err)
+			}
+			return m
+		}()},
+		{"disconnected", Multi{N: 6, Edges: [][2]int{{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}}}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			arcs, err := EulerOrientation(tc.m)
+			if err != nil {
+				t.Fatalf("EulerOrientation: %v", err)
+			}
+			if len(arcs) != len(tc.m.Edges) {
+				t.Fatalf("got %d arcs, want %d", len(arcs), len(tc.m.Edges))
+			}
+			outDeg := make([]int, tc.m.N)
+			inDeg := make([]int, tc.m.N)
+			seen := make([]bool, len(tc.m.Edges))
+			for _, a := range arcs {
+				if seen[a.Edge] {
+					t.Fatalf("edge %d oriented twice", a.Edge)
+				}
+				seen[a.Edge] = true
+				e := tc.m.Edges[a.Edge]
+				if !(a.Tail == e[0] && a.Head == e[1]) && !(a.Tail == e[1] && a.Head == e[0]) {
+					t.Fatalf("arc %v does not match edge %v", a, e)
+				}
+				outDeg[a.Tail]++
+				inDeg[a.Head]++
+			}
+			for v := 0; v < tc.m.N; v++ {
+				if outDeg[v] != inDeg[v] {
+					t.Errorf("node %d: out %d != in %d", v, outDeg[v], inDeg[v])
+				}
+			}
+		})
+	}
+}
+
+func TestEulerOrientationRejectsOddDegree(t *testing.T) {
+	if _, err := EulerOrientation(Multi{N: 2, Edges: [][2]int{{0, 1}}}); err == nil {
+		t.Fatal("odd-degree graph accepted")
+	}
+}
+
+// checkFactorisation verifies the Petersen property: each factor is a
+// spanning set of directed cycles (out-deg = in-deg = 1 everywhere) and
+// the factors partition the edge set.
+func checkFactorisation(t *testing.T, m Multi, factors [][]Arc, k int) {
+	t.Helper()
+	if len(factors) != k {
+		t.Fatalf("got %d factors, want %d", len(factors), k)
+	}
+	used := make([]bool, len(m.Edges))
+	for fi, f := range factors {
+		outDeg := make([]int, m.N)
+		inDeg := make([]int, m.N)
+		for _, a := range f {
+			if used[a.Edge] {
+				t.Fatalf("factor %d reuses edge %d", fi, a.Edge)
+			}
+			used[a.Edge] = true
+			outDeg[a.Tail]++
+			inDeg[a.Head]++
+		}
+		for v := 0; v < m.N; v++ {
+			if outDeg[v] != 1 || inDeg[v] != 1 {
+				t.Errorf("factor %d, node %d: out %d in %d, want 1/1", fi, v, outDeg[v], inDeg[v])
+			}
+		}
+	}
+	for ei, u := range used {
+		if !u {
+			t.Errorf("edge %d not in any factor", ei)
+		}
+	}
+}
+
+func TestTwoFactoriseFixed(t *testing.T) {
+	tests := []struct {
+		name string
+		m    Multi
+		k    int
+	}{
+		{"K5", mustFromGraph(gen.Complete(5)), 2},
+		{"torus", mustFromGraph(gen.Torus(3, 3)), 2},
+		{"loops", Multi{N: 1, Edges: [][2]int{{0, 0}, {0, 0}, {0, 0}}}, 3},
+		{"K7", mustFromGraph(gen.Complete(7)), 3},
+		{"crown5", mustFromGraph(gen.Crown(5)), 2}, // 4-regular
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			factors, err := TwoFactorise(tc.m)
+			if err != nil {
+				t.Fatalf("TwoFactorise: %v", err)
+			}
+			checkFactorisation(t, tc.m, factors, tc.k)
+		})
+	}
+}
+
+func mustFromGraph(g *graph.Graph) Multi {
+	m, err := FromGraph(g)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func TestTwoFactoriseRejects(t *testing.T) {
+	if _, err := TwoFactorise(Multi{N: 2, Edges: [][2]int{{0, 1}}}); err == nil {
+		t.Error("1-regular accepted")
+	}
+	if _, err := TwoFactorise(Multi{N: 3, Edges: [][2]int{{0, 1}, {1, 2}}}); err == nil {
+		t.Error("irregular accepted")
+	}
+	if _, err := TwoFactorise(mustFromGraph(gen.Complete(4))); err == nil {
+		t.Error("3-regular accepted")
+	}
+}
+
+func TestTwoFactoriseRandomRegularQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(3)
+		n := 2*k + 1 + rng.Intn(10)
+		g, err := gen.RandomRegular(rng, n, 2*k)
+		if err != nil {
+			// Odd n*d cannot happen for even d; other failures are
+			// sampling exhaustion, which should not occur here.
+			return false
+		}
+		m := mustFromGraph(g)
+		factors, err := TwoFactorise(m)
+		if err != nil {
+			return false
+		}
+		if len(factors) != k {
+			return false
+		}
+		used := make([]bool, len(m.Edges))
+		for _, f := range factors {
+			outDeg := make([]int, m.N)
+			inDeg := make([]int, m.N)
+			for _, a := range f {
+				if used[a.Edge] {
+					return false
+				}
+				used[a.Edge] = true
+				outDeg[a.Tail]++
+				inDeg[a.Head]++
+			}
+			for v := 0; v < m.N; v++ {
+				if outDeg[v] != 1 || inDeg[v] != 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPairPortsProducesValidGraph(t *testing.T) {
+	// The pair numbering must yield a valid involution in which node u's
+	// port 2i-1 always faces a port 2i.
+	for _, g := range []*graph.Graph{gen.Complete(5), gen.Torus(3, 4), gen.Cycle(6), gen.Crown(4)} {
+		d, ok := g.Regular()
+		if !ok || d%2 != 0 {
+			// Crown(4) is 3-regular: expect an error path instead.
+			if _, err := WithPairPorts(g); err == nil {
+				t.Errorf("%v: odd-regular accepted", g)
+			}
+			continue
+		}
+		h, err := WithPairPorts(g)
+		if err != nil {
+			t.Fatalf("WithPairPorts: %v", err)
+		}
+		if err := h.Validate(); err != nil {
+			t.Fatalf("Validate: %v", err)
+		}
+		if h.N() != g.N() || h.M() != g.M() {
+			t.Fatalf("structure changed: %d/%d vs %d/%d", h.N(), h.M(), g.N(), g.M())
+		}
+		for v := 0; v < h.N(); v++ {
+			for i := 1; i <= d; i += 2 {
+				q := h.P(v, i)
+				if q.Num != i+1 {
+					t.Errorf("p(%d,%d) = %v, want peer port %d", v, i, q, i+1)
+				}
+			}
+		}
+	}
+}
+
+func TestPairPortsOnLoopMultigraph(t *testing.T) {
+	// The Theorem 1 quotient: a single node with k undirected loops must
+	// get the numbering (x,2i-1) <-> (x,2i).
+	m := Multi{N: 1, Edges: [][2]int{{0, 0}, {0, 0}, {0, 0}}}
+	asg, err := PairPorts(m)
+	if err != nil {
+		t.Fatalf("PairPorts: %v", err)
+	}
+	if len(asg) != 3 {
+		t.Fatalf("got %d assignments, want 3", len(asg))
+	}
+	seen := map[int]bool{}
+	for _, a := range asg {
+		if a.U != 0 || a.V != 0 {
+			t.Errorf("assignment %v not a loop", a)
+		}
+		if a.PV != a.PU+1 || a.PU%2 != 1 {
+			t.Errorf("assignment %v is not a (2i-1,2i) pair", a)
+		}
+		seen[a.PU] = true
+	}
+	for _, want := range []int{1, 3, 5} {
+		if !seen[want] {
+			t.Errorf("missing pair starting at port %d", want)
+		}
+	}
+}
+
+func TestFromGraphRejectsDirectedLoop(t *testing.T) {
+	b := graph.NewBuilder(1)
+	b.MustConnect(0, 1, 0, 1)
+	if _, err := FromGraph(b.MustBuild()); err == nil {
+		t.Fatal("directed loop accepted")
+	}
+}

@@ -1,0 +1,44 @@
+package factor
+
+import (
+	"fmt"
+
+	"eds/internal/graph"
+)
+
+// FromGraph extracts the structural multigraph (node count + edge list) of
+// a port-numbered graph, forgetting the port numbering. Directed loops are
+// rejected: they have no sensible degree-2 reading and never occur in the
+// constructions that need factorising.
+func FromGraph(g *graph.Graph) (Multi, error) {
+	edges := make([][2]int, 0, g.M())
+	for _, e := range g.Edges() {
+		if e.IsDirectedLoop() {
+			return Multi{}, fmt.Errorf("factor: graph contains a directed loop at node %d", e.U())
+		}
+		edges = append(edges, [2]int{e.U(), e.V()})
+	}
+	return Multi{N: g.N(), Edges: edges}, nil
+}
+
+// WithPairPorts re-port-numbers a 2k-regular graph with the adversarial
+// pair numbering of PairPorts, preserving the underlying structure. This
+// is the numbering under which all nodes of the Theorem 1 construction are
+// indistinguishable.
+func WithPairPorts(g *graph.Graph) (*graph.Graph, error) {
+	m, err := FromGraph(g)
+	if err != nil {
+		return nil, err
+	}
+	asg, err := PairPorts(m)
+	if err != nil {
+		return nil, err
+	}
+	b := graph.NewBuilder(m.N)
+	for _, a := range asg {
+		if err := b.Connect(a.U, a.PU, a.V, a.PV); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,52 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllFiguresBuild(t *testing.T) {
+	arts, err := All()
+	if err != nil {
+		t.Fatalf("All: %v", err)
+	}
+	if len(arts) != 9 {
+		t.Fatalf("got %d artifacts, want 9", len(arts))
+	}
+	for _, a := range arts {
+		if a.DOT == "" || a.Text == "" {
+			t.Errorf("figure %d: empty rendering", a.ID)
+		}
+		if len(a.Facts) == 0 {
+			t.Errorf("figure %d: no verified facts", a.ID)
+		}
+		if !strings.Contains(a.DOT, "graph G {") {
+			t.Errorf("figure %d: DOT header missing", a.ID)
+		}
+	}
+}
+
+func TestFigureRejectsUnknownID(t *testing.T) {
+	if _, err := Figure(0); err == nil {
+		t.Error("figure 0 accepted")
+	}
+	if _, err := Figure(10); err == nil {
+		t.Error("figure 10 accepted")
+	}
+}
+
+func TestFigure4FactorClaim(t *testing.T) {
+	a, err := Figure(4)
+	if err != nil {
+		t.Fatalf("Figure(4): %v", err)
+	}
+	found := false
+	for _, f := range a.Facts {
+		if strings.Contains(f, "selects exactly factor G(1)") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("figure 4 facts missing the forced-factor claim: %v", a.Facts)
+	}
+}

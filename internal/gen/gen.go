@@ -1,0 +1,146 @@
+// Package gen builds port-numbered graphs for tests, examples, and
+// benchmarks: classic families (cycles, complete and bipartite graphs,
+// crowns, stars, hypercubes, tori) and seeded random families (regular,
+// bounded-degree, trees). Ports are assigned in edge insertion order;
+// RelabelPorts derives adversarial alternative numberings.
+package gen
+
+import (
+	"fmt"
+
+	"eds/internal/graph"
+)
+
+// Cycle returns the n-cycle, n >= 3. It is 2-regular and simple.
+func Cycle(n int) *graph.Graph {
+	if n < 3 {
+		panic(fmt.Sprintf("gen: cycle needs n >= 3, got %d", n))
+	}
+	edges := make([][2]int, 0, n)
+	for v := 0; v < n; v++ {
+		edges = append(edges, [2]int{v, (v + 1) % n})
+	}
+	return graph.MustFromUndirected(n, edges)
+}
+
+// Path returns the path with n nodes (n-1 edges), n >= 1.
+func Path(n int) *graph.Graph {
+	if n < 1 {
+		panic(fmt.Sprintf("gen: path needs n >= 1, got %d", n))
+	}
+	edges := make([][2]int, 0, n-1)
+	for v := 0; v+1 < n; v++ {
+		edges = append(edges, [2]int{v, v + 1})
+	}
+	return graph.MustFromUndirected(n, edges)
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *graph.Graph {
+	edges := make([][2]int, 0, n*(n-1)/2)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			edges = append(edges, [2]int{u, v})
+		}
+	}
+	return graph.MustFromUndirected(n, edges)
+}
+
+// CompleteBipartite returns K_{a,b}: nodes 0..a-1 on the left side,
+// a..a+b-1 on the right side.
+func CompleteBipartite(a, b int) *graph.Graph {
+	edges := make([][2]int, 0, a*b)
+	for u := 0; u < a; u++ {
+		for v := 0; v < b; v++ {
+			edges = append(edges, [2]int{u, a + v})
+		}
+	}
+	return graph.MustFromUndirected(a+b, edges)
+}
+
+// Crown returns the crown graph S_n^0: K_{n,n} minus the perfect matching
+// {i, n+i}. It is (n-1)-regular. The paper uses crowns as the T(ℓ) part of
+// the Theorem 2 components. Requires n >= 2.
+func Crown(n int) *graph.Graph {
+	if n < 2 {
+		panic(fmt.Sprintf("gen: crown needs n >= 2, got %d", n))
+	}
+	edges := make([][2]int, 0, n*(n-1))
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u != v {
+				edges = append(edges, [2]int{u, n + v})
+			}
+		}
+	}
+	return graph.MustFromUndirected(2*n, edges)
+}
+
+// Star returns the star K_{1,k}: node 0 is the centre, 1..k are leaves.
+func Star(k int) *graph.Graph {
+	edges := make([][2]int, 0, k)
+	for v := 1; v <= k; v++ {
+		edges = append(edges, [2]int{0, v})
+	}
+	return graph.MustFromUndirected(k+1, edges)
+}
+
+// PerfectMatching returns k disjoint edges on 2k nodes (1-regular): the
+// graph family of the Δ = 1 row of Table 1.
+func PerfectMatching(k int) *graph.Graph {
+	edges := make([][2]int, 0, k)
+	for i := 0; i < k; i++ {
+		edges = append(edges, [2]int{2 * i, 2*i + 1})
+	}
+	return graph.MustFromUndirected(2*k, edges)
+}
+
+// Hypercube returns the dim-dimensional hypercube Q_dim (dim-regular,
+// 2^dim nodes).
+func Hypercube(dim int) *graph.Graph {
+	if dim < 1 || dim > 20 {
+		panic(fmt.Sprintf("gen: hypercube dimension %d out of range [1,20]", dim))
+	}
+	n := 1 << uint(dim)
+	edges := make([][2]int, 0, n*dim/2)
+	for v := 0; v < n; v++ {
+		for b := 0; b < dim; b++ {
+			u := v ^ (1 << uint(b))
+			if v < u {
+				edges = append(edges, [2]int{v, u})
+			}
+		}
+	}
+	return graph.MustFromUndirected(n, edges)
+}
+
+// Torus returns the rows x cols toroidal grid (4-regular). Both dimensions
+// must be >= 3 so the graph stays simple.
+func Torus(rows, cols int) *graph.Graph {
+	if rows < 3 || cols < 3 {
+		panic(fmt.Sprintf("gen: torus needs both dimensions >= 3, got %dx%d", rows, cols))
+	}
+	id := func(r, c int) int { return r*cols + c }
+	edges := make([][2]int, 0, 2*rows*cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			edges = append(edges,
+				[2]int{id(r, c), id(r, (c+1)%cols)},
+				[2]int{id(r, c), id((r+1)%rows, c)})
+		}
+	}
+	return graph.MustFromUndirected(rows*cols, edges)
+}
+
+// Petersen returns the Petersen graph (3-regular, 10 nodes): outer 5-cycle
+// 0..4, inner 5-star 5..9, spokes i -- i+5.
+func Petersen() *graph.Graph {
+	edges := make([][2]int, 0, 15)
+	for i := 0; i < 5; i++ {
+		edges = append(edges,
+			[2]int{i, (i + 1) % 5},     // outer cycle
+			[2]int{i, i + 5},           // spoke
+			[2]int{5 + i, 5 + (i+2)%5}) // inner pentagram
+	}
+	return graph.MustFromUndirected(10, edges)
+}

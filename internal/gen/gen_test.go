@@ -1,0 +1,168 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"eds/internal/graph"
+)
+
+func TestFamilies(t *testing.T) {
+	tests := []struct {
+		name      string
+		g         *graph.Graph
+		n, m      int
+		regular   int // -1 means irregular
+		connected bool
+	}{
+		{"Cycle(5)", Cycle(5), 5, 5, 2, true},
+		{"Path(6)", Path(6), 6, 5, -1, true},
+		{"Path(1)", Path(1), 1, 0, 0, true},
+		{"Complete(5)", Complete(5), 5, 10, 4, true},
+		{"CompleteBipartite(3,4)", CompleteBipartite(3, 4), 7, 12, -1, true},
+		{"CompleteBipartite(4,4)", CompleteBipartite(4, 4), 8, 16, 4, true},
+		{"Crown(4)", Crown(4), 8, 12, 3, true},
+		{"Star(5)", Star(5), 6, 5, -1, true},
+		{"PerfectMatching(4)", PerfectMatching(4), 8, 4, 1, false},
+		{"Hypercube(3)", Hypercube(3), 8, 12, 3, true},
+		{"Torus(3,4)", Torus(3, 4), 12, 24, 4, true},
+		{"Petersen", Petersen(), 10, 15, 3, true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.g.Validate(); err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+			if !tc.g.IsSimple() {
+				t.Error("not simple")
+			}
+			if got := tc.g.N(); got != tc.n {
+				t.Errorf("N = %d, want %d", got, tc.n)
+			}
+			if got := tc.g.M(); got != tc.m {
+				t.Errorf("M = %d, want %d", got, tc.m)
+			}
+			d, ok := tc.g.Regular()
+			if tc.regular >= 0 {
+				if !ok || d != tc.regular {
+					t.Errorf("Regular = (%d,%v), want (%d,true)", d, ok, tc.regular)
+				}
+			} else if ok && tc.g.N() > 1 {
+				t.Errorf("Regular = (%d,true), want irregular", d)
+			}
+			if got := graph.Connected(tc.g); got != tc.connected {
+				t.Errorf("connected = %v, want %v", got, tc.connected)
+			}
+		})
+	}
+}
+
+func TestCrownHasNoMatchingEdges(t *testing.T) {
+	// The crown is K_{n,n} minus the perfect matching {i, n+i}.
+	g := Crown(5)
+	for i := 0; i < 5; i++ {
+		if g.HasEdgeBetween(i, 5+i) {
+			t.Errorf("crown contains forbidden matching edge {%d,%d}", i, 5+i)
+		}
+	}
+}
+
+func TestRandomRegularQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 1 + rng.Intn(5)
+		n := d + 1 + rng.Intn(12)
+		if n*d%2 != 0 {
+			n++
+		}
+		g, err := RandomRegular(rng, n, d)
+		if err != nil {
+			return false
+		}
+		if err := g.Validate(); err != nil {
+			return false
+		}
+		got, ok := g.Regular()
+		return ok && got == d && g.IsSimple()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomRegularRejectsBadParams(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := RandomRegular(rng, 4, 4); err == nil {
+		t.Error("d >= n accepted")
+	}
+	if _, err := RandomRegular(rng, 5, 3); err == nil {
+		t.Error("odd n*d accepted")
+	}
+}
+
+func TestRandomBoundedDegreeQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		maxDeg := 1 + rng.Intn(6)
+		n := 2 + rng.Intn(20)
+		g := RandomBoundedDegree(rng, n, maxDeg, 0.5)
+		if err := g.Validate(); err != nil {
+			return false
+		}
+		return g.IsSimple() && g.MaxDegree() <= maxDeg
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomTreeQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(60)
+		g := RandomTree(rng, n)
+		if err := g.Validate(); err != nil {
+			return false
+		}
+		return g.M() == n-1 && g.IsSimple() && graph.Connected(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRelabelPortsPreservesStructure(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := MustRandomRegular(rng, 10, 3)
+		h := RelabelPorts(rng, g)
+		if err := h.Validate(); err != nil {
+			return false
+		}
+		if h.N() != g.N() || h.M() != g.M() {
+			return false
+		}
+		// Same underlying multiset of neighbour relations per node.
+		for v := 0; v < g.N(); v++ {
+			if h.Deg(v) != g.Deg(v) {
+				return false
+			}
+			a, b := g.Neighbours(v), h.Neighbours(v)
+			ca, cb := map[int]int{}, map[int]int{}
+			for i := range a {
+				ca[a[i]]++
+				cb[b[i]]++
+			}
+			for k, n := range ca {
+				if cb[k] != n {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,181 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"eds/internal/graph"
+)
+
+// RandomRegular returns a random simple d-regular graph on n nodes using
+// greedy stub pairing with restarts: half-edges are matched in random
+// order, skipping partners that would create a loop or a parallel edge; a
+// dead end restarts the attempt. n*d must be even and d < n.
+func RandomRegular(rng *rand.Rand, n, d int) (*graph.Graph, error) {
+	if d < 0 || d >= n {
+		return nil, fmt.Errorf("gen: d-regular needs 0 <= d < n, got d=%d n=%d", d, n)
+	}
+	if n*d%2 != 0 {
+		return nil, fmt.Errorf("gen: n*d must be even, got n=%d d=%d", n, d)
+	}
+	if d == 0 {
+		return graph.MustFromUndirected(n, nil), nil
+	}
+	const maxAttempts = 5000
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		stubs := make([]int, 0, n*d)
+		for v := 0; v < n; v++ {
+			for i := 0; i < d; i++ {
+				stubs = append(stubs, v)
+			}
+		}
+		rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+		edges := make([][2]int, 0, n*d/2)
+		seen := make(map[[2]int]bool, n*d/2)
+		ok := true
+		for len(stubs) > 0 && ok {
+			u := stubs[len(stubs)-1]
+			stubs = stubs[:len(stubs)-1]
+			ok = false
+			for j := len(stubs) - 1; j >= 0; j-- {
+				v := stubs[j]
+				if v == u {
+					continue
+				}
+				key := [2]int{min(u, v), max(u, v)}
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				edges = append(edges, [2]int{u, v})
+				stubs[j] = stubs[len(stubs)-1]
+				stubs = stubs[:len(stubs)-1]
+				ok = true
+				break
+			}
+		}
+		if ok {
+			return graph.MustFromUndirected(n, edges), nil
+		}
+	}
+	return nil, fmt.Errorf("gen: could not sample a simple %d-regular graph on %d nodes", d, n)
+}
+
+// MustRandomRegular is RandomRegular but panics on error.
+func MustRandomRegular(rng *rand.Rand, n, d int) *graph.Graph {
+	g, err := RandomRegular(rng, n, d)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// RandomBoundedDegree returns a random simple graph on n nodes with maximum
+// degree at most maxDeg: candidate pairs are visited in random order and an
+// edge is kept with probability p while both endpoints have spare degree.
+func RandomBoundedDegree(rng *rand.Rand, n, maxDeg int, p float64) *graph.Graph {
+	type pair struct{ u, v int }
+	pairs := make([]pair, 0, n*(n-1)/2)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			pairs = append(pairs, pair{u, v})
+		}
+	}
+	rng.Shuffle(len(pairs), func(i, j int) { pairs[i], pairs[j] = pairs[j], pairs[i] })
+	deg := make([]int, n)
+	var edges [][2]int
+	for _, pr := range pairs {
+		if deg[pr.u] >= maxDeg || deg[pr.v] >= maxDeg {
+			continue
+		}
+		if rng.Float64() < p {
+			deg[pr.u]++
+			deg[pr.v]++
+			edges = append(edges, [2]int{pr.u, pr.v})
+		}
+	}
+	return graph.MustFromUndirected(n, edges)
+}
+
+// RandomTree returns a uniformly random labelled tree on n nodes via a
+// random Prüfer sequence. Trees exercise the bounded-degree algorithm on
+// highly irregular degree distributions.
+func RandomTree(rng *rand.Rand, n int) *graph.Graph {
+	if n <= 0 {
+		panic(fmt.Sprintf("gen: tree needs n >= 1, got %d", n))
+	}
+	if n == 1 {
+		return graph.MustFromUndirected(1, nil)
+	}
+	if n == 2 {
+		return graph.MustFromUndirected(2, [][2]int{{0, 1}})
+	}
+	prufer := make([]int, n-2)
+	deg := make([]int, n)
+	for i := range deg {
+		deg[i] = 1
+	}
+	for i := range prufer {
+		prufer[i] = rng.Intn(n)
+		deg[prufer[i]]++
+	}
+	edges := make([][2]int, 0, n-1)
+	// Standard linear-time Prüfer decoding with a scan pointer: leaf is
+	// the smallest currently unused degree-1 node.
+	ptr := 0
+	for deg[ptr] != 1 {
+		ptr++
+	}
+	leaf := ptr
+	for _, v := range prufer {
+		edges = append(edges, [2]int{leaf, v})
+		deg[v]--
+		if deg[v] == 1 && v < ptr {
+			leaf = v
+		} else {
+			ptr++
+			for deg[ptr] != 1 {
+				ptr++
+			}
+			leaf = ptr
+		}
+	}
+	// The last edge joins the remaining leaf to node n-1.
+	edges = append(edges, [2]int{leaf, n - 1})
+	return graph.MustFromUndirected(n, edges)
+}
+
+// RelabelPorts returns a copy of g in which every node's port numbers have
+// been permuted uniformly at random. Distributed algorithms in the
+// port-numbering model must produce feasible output for every numbering;
+// tests use this to search for numbering-dependent bugs.
+func RelabelPorts(rng *rand.Rand, g *graph.Graph) *graph.Graph {
+	n := g.N()
+	perm := make([][]int, n) // perm[v][i-1] = new port number of old port i
+	for v := 0; v < n; v++ {
+		d := g.Deg(v)
+		p := rng.Perm(d)
+		perm[v] = make([]int, d)
+		for old, newIdx := range p {
+			perm[v][old] = newIdx + 1
+		}
+	}
+	b := graph.NewBuilder(n)
+	done := make(map[[2]graph.Port]bool, g.M())
+	for v := 0; v < n; v++ {
+		for i := 1; i <= g.Deg(v); i++ {
+			q := g.P(v, i)
+			self := graph.Port{Node: v, Num: i}
+			key := [2]graph.Port{self, q}
+			if q.Less(self) {
+				key = [2]graph.Port{q, self}
+			}
+			if done[key] {
+				continue
+			}
+			done[key] = true
+			b.MustConnect(v, perm[v][i-1], q.Node, perm[q.Node][q.Num-1])
+		}
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,85 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteTo serialises the graph in a line-oriented text format:
+//
+//	# comments and blank lines are ignored
+//	nodes <N>
+//	conn <v> <i> <u> <j>    # p(v,i) = (u,j); one line per orbit
+//
+// The format round-trips through ReadGraph and is the interchange format
+// of the edsrun tool's -graph file:PATH option.
+func WriteTo(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "nodes %d\n", g.N())
+	for v := 0; v < g.N(); v++ {
+		for i := 1; i <= g.Deg(v); i++ {
+			q := g.P(v, i)
+			self := Port{Node: v, Num: i}
+			// Emit each orbit once, from its canonical end.
+			if q.Less(self) {
+				continue
+			}
+			fmt.Fprintf(bw, "conn %d %d %d %d\n", v, i, q.Node, q.Num)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadGraph parses the WriteTo format.
+func ReadGraph(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	var b *Builder
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "nodes":
+			if b != nil {
+				return nil, fmt.Errorf("graph: line %d: duplicate nodes directive", line)
+			}
+			var n int
+			if _, err := fmt.Sscanf(fields[1], "%d", &n); err != nil || len(fields) != 2 {
+				return nil, fmt.Errorf("graph: line %d: bad nodes directive %q", line, text)
+			}
+			if n < 0 {
+				return nil, fmt.Errorf("graph: line %d: negative node count", line)
+			}
+			b = NewBuilder(n)
+		case "conn":
+			if b == nil {
+				return nil, fmt.Errorf("graph: line %d: conn before nodes", line)
+			}
+			var v, i, u, j int
+			if len(fields) != 5 {
+				return nil, fmt.Errorf("graph: line %d: bad conn directive %q", line, text)
+			}
+			if _, err := fmt.Sscanf(strings.Join(fields[1:], " "), "%d %d %d %d", &v, &i, &u, &j); err != nil {
+				return nil, fmt.Errorf("graph: line %d: %v", line, err)
+			}
+			if err := b.Connect(v, i, u, j); err != nil {
+				return nil, fmt.Errorf("graph: line %d: %v", line, err)
+			}
+		default:
+			return nil, fmt.Errorf("graph: line %d: unknown directive %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if b == nil {
+		return nil, fmt.Errorf("graph: missing nodes directive")
+	}
+	return b.Build()
+}

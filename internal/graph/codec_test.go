@@ -1,0 +1,88 @@
+package graph
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCodecRoundTripQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomSimpleGraph(rng, 2+rng.Intn(12), rng.Float64())
+		var sb strings.Builder
+		if err := WriteTo(&sb, g); err != nil {
+			return false
+		}
+		h, err := ReadGraph(strings.NewReader(sb.String()))
+		if err != nil {
+			return false
+		}
+		return g.Equal(h)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCodecRoundTripMultigraph(t *testing.T) {
+	b := NewBuilder(2)
+	b.MustConnect(0, 1, 1, 2)
+	b.MustConnect(0, 2, 1, 1)
+	b.MustConnect(0, 3, 0, 3) // directed loop
+	b.MustConnect(1, 3, 1, 4) // undirected loop
+	g := b.MustBuild()
+	var sb strings.Builder
+	if err := WriteTo(&sb, g); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	h, err := ReadGraph(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("ReadGraph: %v", err)
+	}
+	if !g.Equal(h) {
+		t.Errorf("round trip changed the graph:\n%s", sb.String())
+	}
+}
+
+func TestReadGraphErrors(t *testing.T) {
+	tests := []struct {
+		name  string
+		input string
+	}{
+		{"empty", ""},
+		{"conn before nodes", "conn 0 1 1 1\nnodes 2"},
+		{"duplicate nodes", "nodes 2\nnodes 3"},
+		{"bad nodes", "nodes x"},
+		{"negative nodes", "nodes -1"},
+		{"short conn", "nodes 2\nconn 0 1 1"},
+		{"out of range", "nodes 2\nconn 0 1 5 1"},
+		{"double wire", "nodes 3\nconn 0 1 1 1\nconn 0 1 2 1"},
+		{"hole in ports", "nodes 2\nconn 0 2 1 1"},
+		{"unknown directive", "nodes 1\nfrobnicate"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadGraph(strings.NewReader(tc.input)); err == nil {
+				t.Error("want error, got nil")
+			}
+		})
+	}
+}
+
+func TestReadGraphCommentsAndWhitespace(t *testing.T) {
+	input := `
+# a comment
+nodes 2
+
+conn 0 1 1 1
+`
+	g, err := ReadGraph(strings.NewReader(input))
+	if err != nil {
+		t.Fatalf("ReadGraph: %v", err)
+	}
+	if g.N() != 2 || g.M() != 1 {
+		t.Errorf("got n=%d m=%d", g.N(), g.M())
+	}
+}

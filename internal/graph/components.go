@@ -1,0 +1,37 @@
+package graph
+
+// Components labels the connected components of g: the result maps each
+// node to a component id in 0..k-1, ids assigned in order of the
+// smallest node of each component.
+func Components(g *Graph) (ids []int, count int) {
+	ids = make([]int, g.N())
+	for v := range ids {
+		ids[v] = -1
+	}
+	for start := 0; start < g.N(); start++ {
+		if ids[start] >= 0 {
+			continue
+		}
+		ids[start] = count
+		stack := []int{start}
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for i := 1; i <= g.Deg(v); i++ {
+				u := g.P(v, i).Node
+				if ids[u] < 0 {
+					ids[u] = count
+					stack = append(stack, u)
+				}
+			}
+		}
+		count++
+	}
+	return ids, count
+}
+
+// Connected reports whether g has at most one connected component.
+func Connected(g *Graph) bool {
+	_, count := Components(g)
+	return count <= 1
+}

@@ -1,0 +1,73 @@
+package graph
+
+import (
+	"testing"
+)
+
+func TestComponents(t *testing.T) {
+	tests := []struct {
+		name  string
+		g     *Graph
+		count int
+		same  [][2]int // node pairs in the same component
+		diff  [][2]int
+	}{
+		{
+			name:  "two triangles",
+			g:     MustFromUndirected(6, [][2]int{{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}}),
+			count: 2,
+			same:  [][2]int{{0, 2}, {3, 5}},
+			diff:  [][2]int{{0, 3}, {2, 4}},
+		},
+		{
+			name:  "isolated nodes",
+			g:     MustFromUndirected(4, [][2]int{{1, 2}}),
+			count: 3,
+			same:  [][2]int{{1, 2}},
+			diff:  [][2]int{{0, 3}, {0, 1}},
+		},
+		{
+			name:  "path",
+			g:     MustFromUndirected(4, [][2]int{{0, 1}, {1, 2}, {2, 3}}),
+			count: 1,
+			same:  [][2]int{{0, 3}},
+		},
+		{
+			name:  "empty",
+			g:     MustFromUndirected(0, nil),
+			count: 0,
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			ids, count := Components(tc.g)
+			if count != tc.count {
+				t.Fatalf("count = %d, want %d", count, tc.count)
+			}
+			for _, p := range tc.same {
+				if ids[p[0]] != ids[p[1]] {
+					t.Errorf("nodes %d and %d in different components", p[0], p[1])
+				}
+			}
+			for _, p := range tc.diff {
+				if ids[p[0]] == ids[p[1]] {
+					t.Errorf("nodes %d and %d in the same component", p[0], p[1])
+				}
+			}
+			if (count <= 1) != Connected(tc.g) {
+				t.Error("Connected disagrees with Components")
+			}
+		})
+	}
+}
+
+func TestComponentsWithLoops(t *testing.T) {
+	b := NewBuilder(2)
+	b.MustConnect(0, 1, 0, 2) // undirected loop at 0
+	b.MustConnect(1, 1, 1, 1) // directed loop at 1
+	g := b.MustBuild()
+	_, count := Components(g)
+	if count != 2 {
+		t.Errorf("count = %d, want 2 (loops do not connect anything)", count)
+	}
+}

@@ -1,0 +1,142 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEdgeSetBasics(t *testing.T) {
+	s := NewEdgeSet(130) // spans three words
+	for _, i := range []int{0, 63, 64, 127, 129} {
+		s.Add(i)
+	}
+	if got, want := s.Count(), 5; got != want {
+		t.Fatalf("Count = %d, want %d", got, want)
+	}
+	if !s.Has(64) || s.Has(1) {
+		t.Error("membership wrong after Add")
+	}
+	s.Remove(64)
+	if s.Has(64) {
+		t.Error("Has(64) after Remove")
+	}
+	got := s.Indices()
+	want := []int{0, 63, 127, 129}
+	if len(got) != len(want) {
+		t.Fatalf("Indices = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Indices = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEdgeSetOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for out-of-range index")
+		}
+	}()
+	NewEdgeSet(10).Add(10)
+}
+
+func TestEdgeSetAlgebraQuick(t *testing.T) {
+	// Union/Subtract/Intersect agree with per-element semantics.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 1 + rng.Intn(200)
+		a, b := NewEdgeSet(m), NewEdgeSet(m)
+		inA := make([]bool, m)
+		inB := make([]bool, m)
+		for i := 0; i < m; i++ {
+			if rng.Intn(2) == 0 {
+				a.Add(i)
+				inA[i] = true
+			}
+			if rng.Intn(2) == 0 {
+				b.Add(i)
+				inB[i] = true
+			}
+		}
+		u := a.Clone()
+		u.Union(b)
+		d := a.Clone()
+		d.Subtract(b)
+		x := a.Clone()
+		x.Intersect(b)
+		for i := 0; i < m; i++ {
+			if u.Has(i) != (inA[i] || inB[i]) {
+				return false
+			}
+			if d.Has(i) != (inA[i] && !inB[i]) {
+				return false
+			}
+			if x.Has(i) != (inA[i] && inB[i]) {
+				return false
+			}
+		}
+		if a.Disjoint(b) != x.Empty() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoveredNodesAndDegreeIn(t *testing.T) {
+	g := MustFromUndirected(5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}})
+	s := NewEdgeSet(g.M())
+	s.Add(g.EdgeAt(0, g.PortBetween(0, 1)))
+	s.Add(g.EdgeAt(1, g.PortBetween(1, 2)))
+	covered := CoveredNodes(g, s)
+	wantCovered := []bool{true, true, true, false, false}
+	for v, want := range wantCovered {
+		if covered[v] != want {
+			t.Errorf("covered[%d] = %v, want %v", v, covered[v], want)
+		}
+	}
+	deg := DegreeIn(g, s)
+	wantDeg := []int{1, 2, 1, 0, 0}
+	for v, want := range wantDeg {
+		if deg[v] != want {
+			t.Errorf("deg[%d] = %d, want %d", v, deg[v], want)
+		}
+	}
+}
+
+func TestEdgeSetFromPairs(t *testing.T) {
+	g := MustFromUndirected(4, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	s, err := EdgeSetFromPairs(g, [][2]int{{1, 0}, {2, 3}})
+	if err != nil {
+		t.Fatalf("EdgeSetFromPairs: %v", err)
+	}
+	if got := s.Count(); got != 2 {
+		t.Fatalf("Count = %d, want 2", got)
+	}
+	pairs := SortedPairs(g, s)
+	want := [][2]int{{0, 1}, {2, 3}}
+	for i := range want {
+		if pairs[i] != want[i] {
+			t.Fatalf("SortedPairs = %v, want %v", pairs, want)
+		}
+	}
+	if _, err := EdgeSetFromPairs(g, [][2]int{{0, 3}}); err == nil {
+		t.Error("missing edge accepted")
+	}
+}
+
+func TestEdgeSetForEachEarlyStop(t *testing.T) {
+	s := NewEdgeSetOf(100, 3, 50, 80)
+	var visited []int
+	s.ForEach(func(i int) bool {
+		visited = append(visited, i)
+		return len(visited) < 2
+	})
+	if len(visited) != 2 || visited[0] != 3 || visited[1] != 50 {
+		t.Errorf("visited = %v, want [3 50]", visited)
+	}
+}

@@ -1,0 +1,80 @@
+package graph
+
+import (
+	"testing"
+)
+
+// FuzzBuilder feeds arbitrary connect sequences to the builder: whatever
+// subset of operations succeeds must still produce a valid involution,
+// and Build must never return a structurally broken graph.
+func FuzzBuilder(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 1, 1, 2, 2, 1})
+	f.Add([]byte{0, 1, 0, 1})             // directed loop
+	f.Add([]byte{0, 1, 0, 2, 1, 1, 1, 2}) // undirected loops
+	f.Add([]byte{3, 9, 2, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const n = 5
+		b := NewBuilder(n)
+		wired := 0
+		for i := 0; i+3 < len(data); i += 4 {
+			u := int(data[i]) % n
+			pi := 1 + int(data[i+1])%6
+			v := int(data[i+2]) % n
+			pj := 1 + int(data[i+3])%6
+			if err := b.Connect(u, pi, v, pj); err == nil {
+				wired++
+			}
+		}
+		g, err := b.Build()
+		if err != nil {
+			// Holes in the port space are legitimate build failures.
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("built graph fails validation: %v", err)
+		}
+		total := 0
+		for v := 0; v < g.N(); v++ {
+			total += g.Deg(v)
+		}
+		// Handshake: every edge has two port endpoints except directed
+		// loops, which have one.
+		directed := 0
+		for _, e := range g.Edges() {
+			if e.IsDirectedLoop() {
+				directed++
+			}
+		}
+		if total != 2*(g.M()-directed)+directed {
+			t.Fatalf("handshake violated: ports %d, edges %d (%d directed loops)", total, g.M(), directed)
+		}
+	})
+}
+
+// FuzzEdgeSetOps checks the bitset against a map-based model.
+func FuzzEdgeSetOps(f *testing.F) {
+	f.Add([]byte{1, 0, 2, 1, 1, 63, 0, 64})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const m = 130
+		s := NewEdgeSet(m)
+		model := map[int]bool{}
+		for i := 0; i+1 < len(data); i += 2 {
+			idx := int(data[i+1]) % m
+			if data[i]%2 == 0 {
+				s.Add(idx)
+				model[idx] = true
+			} else {
+				s.Remove(idx)
+				delete(model, idx)
+			}
+		}
+		if s.Count() != len(model) {
+			t.Fatalf("Count = %d, model %d", s.Count(), len(model))
+		}
+		for idx := 0; idx < m; idx++ {
+			if s.Has(idx) != model[idx] {
+				t.Fatalf("Has(%d) = %v, model %v", idx, s.Has(idx), model[idx])
+			}
+		}
+	})
+}

@@ -1,0 +1,324 @@
+// Package graph implements port-numbered graphs, the network model of
+// Suomela's "Distributed Algorithms for Edge Dominating Sets" (PODC 2010),
+// Section 2.1.
+//
+// A port-numbered graph is a set of nodes V, a degree function d, and an
+// involution p on the set of ports {(v, i) : v ∈ V, 1 ≤ i ≤ d(v)}. The
+// involution routes messages: what node v sends to its port i is received
+// by node u from port j whenever p(v, i) = (u, j).
+//
+// The package supports multigraphs: parallel edges, undirected loops
+// (p(v, i) = (v, j) with i ≠ j), and directed loops (fixed points
+// p(v, i) = (v, i)). Simple graphs are a validated special case. Covering
+// maps in the lower-bound constructions target multigraphs, so the whole
+// stack runs on them unchanged.
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Port identifies one port of one node. Node is the 0-based node index and
+// Num is the 1-based port number, following the paper's convention that a
+// node of degree d has ports 1, 2, ..., d.
+type Port struct {
+	Node int
+	Num  int
+}
+
+// Less orders ports lexicographically by (Node, Num).
+func (p Port) Less(q Port) bool {
+	if p.Node != q.Node {
+		return p.Node < q.Node
+	}
+	return p.Num < q.Num
+}
+
+// String formats the port as "(v, i)".
+func (p Port) String() string {
+	return fmt.Sprintf("(%d,%d)", p.Node, p.Num)
+}
+
+// Edge is one edge of a port-numbered graph, identified by the pair of
+// ports it connects. A is the canonically smaller port. For a directed
+// loop (a fixed point of the involution) A == B; for an undirected loop
+// A.Node == B.Node with A.Num < B.Num.
+type Edge struct {
+	A, B Port
+}
+
+// U returns the node index of endpoint A.
+func (e Edge) U() int { return e.A.Node }
+
+// V returns the node index of endpoint B.
+func (e Edge) V() int { return e.B.Node }
+
+// IsLoop reports whether both endpoints are the same node.
+func (e Edge) IsLoop() bool { return e.A.Node == e.B.Node }
+
+// IsDirectedLoop reports whether the edge is a fixed point of the
+// involution (the paper's directed loop).
+func (e Edge) IsDirectedLoop() bool { return e.A == e.B }
+
+// Other returns the endpoint opposite to node v. It panics if v is not an
+// endpoint. For loops it returns v itself.
+func (e Edge) Other(v int) int {
+	switch v {
+	case e.A.Node:
+		return e.B.Node
+	case e.B.Node:
+		return e.A.Node
+	default:
+		panic(fmt.Sprintf("graph: node %d is not an endpoint of %v", v, e))
+	}
+}
+
+// Covers reports whether the edge covers node v (v is an endpoint).
+func (e Edge) Covers(v int) bool { return e.A.Node == v || e.B.Node == v }
+
+// String formats the edge as "{u,v}" with its port pair.
+func (e Edge) String() string {
+	return fmt.Sprintf("{%d,%d}[%d:%d]", e.A.Node, e.B.Node, e.A.Num, e.B.Num)
+}
+
+// Graph is an immutable port-numbered graph. Construct one with a Builder,
+// or with a generator from internal/gen. The zero value is the empty graph.
+type Graph struct {
+	conn   [][]Port // conn[v][i-1] = p(v, i)
+	edges  []Edge   // canonical edge list, sorted by Edge.A
+	edgeAt [][]int  // edgeAt[v][i-1] = index into edges for the edge at (v, i)
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.conn) }
+
+// M returns the number of edges (loops count once, a directed loop is one
+// edge, parallel edges count separately).
+func (g *Graph) M() int { return len(g.edges) }
+
+// Deg returns the degree of node v, i.e. its number of ports. A directed
+// loop contributes 1 to the degree, an undirected loop contributes 2.
+func (g *Graph) Deg(v int) int { return len(g.conn[v]) }
+
+// P evaluates the involution: P(v, i) is the port connected to port i of
+// node v. Port numbers are 1-based.
+func (g *Graph) P(v, i int) Port { return g.conn[v][i-1] }
+
+// EdgeAt returns the index (into Edges) of the edge attached to port i of
+// node v.
+func (g *Graph) EdgeAt(v, i int) int { return g.edgeAt[v][i-1] }
+
+// Edge returns the edge with the given index.
+func (g *Graph) Edge(idx int) Edge { return g.edges[idx] }
+
+// Edges returns the canonical edge list. The caller must not modify it.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// MaxDegree returns the maximum node degree, or 0 for the empty graph.
+func (g *Graph) MaxDegree() int {
+	maxDeg := 0
+	for v := range g.conn {
+		if d := len(g.conn[v]); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	return maxDeg
+}
+
+// Regular reports whether all nodes have the same degree and returns that
+// degree. The empty graph is vacuously 0-regular.
+func (g *Graph) Regular() (d int, ok bool) {
+	if len(g.conn) == 0 {
+		return 0, true
+	}
+	d = len(g.conn[0])
+	for v := 1; v < len(g.conn); v++ {
+		if len(g.conn[v]) != d {
+			return 0, false
+		}
+	}
+	return d, true
+}
+
+// IsSimple reports whether the graph has no loops and no parallel edges.
+func (g *Graph) IsSimple() bool {
+	seen := make(map[[2]int]bool, len(g.edges))
+	for _, e := range g.edges {
+		if e.IsLoop() {
+			return false
+		}
+		key := [2]int{e.A.Node, e.B.Node}
+		if key[0] > key[1] {
+			key[0], key[1] = key[1], key[0]
+		}
+		if seen[key] {
+			return false
+		}
+		seen[key] = true
+	}
+	return true
+}
+
+// Neighbour returns the node at the other end of port i of node v.
+func (g *Graph) Neighbour(v, i int) int { return g.conn[v][i-1].Node }
+
+// Neighbours returns the multiset of neighbours of v in port order.
+// The result is freshly allocated.
+func (g *Graph) Neighbours(v int) []int {
+	out := make([]int, len(g.conn[v]))
+	for i, p := range g.conn[v] {
+		out[i] = p.Node
+	}
+	return out
+}
+
+// HasEdgeBetween reports whether at least one edge joins u and v.
+func (g *Graph) HasEdgeBetween(u, v int) bool {
+	for _, p := range g.conn[u] {
+		if p.Node == v {
+			return true
+		}
+	}
+	return false
+}
+
+// PortBetween returns v's port number of some edge {v, u}, or 0 if none.
+func (g *Graph) PortBetween(v, u int) int {
+	for i, p := range g.conn[v] {
+		if p.Node == u {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// IncidentEdges returns the indices of all edges incident to v, in port
+// order. Loops appear once per incident port pair for undirected loops
+// (i.e. once, deduplicated) and once for directed loops.
+func (g *Graph) IncidentEdges(v int) []int {
+	out := make([]int, 0, len(g.conn[v]))
+	seen := make(map[int]bool, len(g.conn[v]))
+	for i := range g.conn[v] {
+		idx := g.edgeAt[v][i]
+		if !seen[idx] {
+			seen[idx] = true
+			out = append(out, idx)
+		}
+	}
+	return out
+}
+
+// Validate checks the structural invariants: every port is assigned, the
+// connection function is an involution, and the edge index is consistent.
+func (g *Graph) Validate() error {
+	for v := range g.conn {
+		for i1, q := range g.conn[v] {
+			i := i1 + 1
+			if q.Node < 0 || q.Node >= len(g.conn) {
+				return fmt.Errorf("graph: port (%d,%d) connects to out-of-range node %d", v, i, q.Node)
+			}
+			if q.Num < 1 || q.Num > len(g.conn[q.Node]) {
+				return fmt.Errorf("graph: port (%d,%d) connects to out-of-range port %v", v, i, q)
+			}
+			back := g.conn[q.Node][q.Num-1]
+			if back != (Port{Node: v, Num: i}) {
+				return fmt.Errorf("graph: involution violated at (%d,%d): p(%d,%d)=%v but p%v=%v",
+					v, i, v, i, q, q, back)
+			}
+			idx := g.edgeAt[v][i1]
+			if idx < 0 || idx >= len(g.edges) {
+				return fmt.Errorf("graph: edge index out of range at (%d,%d)", v, i)
+			}
+			e := g.edges[idx]
+			self := Port{Node: v, Num: i}
+			if e.A != self && e.B != self {
+				return fmt.Errorf("graph: edge index at (%d,%d) points to unrelated edge %v", v, i, e)
+			}
+		}
+	}
+	return nil
+}
+
+// Equal reports whether two graphs have identical node sets, degrees, and
+// involutions (hence identical port numberings).
+func (g *Graph) Equal(h *Graph) bool {
+	if g.N() != h.N() {
+		return false
+	}
+	for v := range g.conn {
+		if len(g.conn[v]) != len(h.conn[v]) {
+			return false
+		}
+		for i := range g.conn[v] {
+			if g.conn[v][i] != h.conn[v][i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders a compact description, mostly for test failure messages.
+func (g *Graph) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Graph(n=%d, m=%d)", g.N(), g.M())
+	return sb.String()
+}
+
+// buildEdges derives the canonical edge list from a validated connection
+// table. Each involution orbit of size two becomes one undirected edge;
+// each fixed point becomes one directed loop.
+func buildEdges(conn [][]Port) ([]Edge, [][]int) {
+	var edges []Edge
+	edgeAt := make([][]int, len(conn))
+	for v := range conn {
+		edgeAt[v] = make([]int, len(conn[v]))
+		for i := range edgeAt[v] {
+			edgeAt[v][i] = -1
+		}
+	}
+	for v := range conn {
+		for i1, q := range conn[v] {
+			if edgeAt[v][i1] >= 0 {
+				continue
+			}
+			self := Port{Node: v, Num: i1 + 1}
+			e := Edge{A: self, B: q}
+			if q.Less(self) {
+				e = Edge{A: q, B: self}
+			}
+			idx := len(edges)
+			edges = append(edges, e)
+			edgeAt[v][i1] = idx
+			if q != self {
+				edgeAt[q.Node][q.Num-1] = idx
+			}
+		}
+	}
+	// Canonicalise order: sort edges by the A port, remap indices.
+	perm := make([]int, len(edges))
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.Slice(perm, func(a, b int) bool {
+		ea, eb := edges[perm[a]], edges[perm[b]]
+		if ea.A != eb.A {
+			return ea.A.Less(eb.A)
+		}
+		return ea.B.Less(eb.B)
+	})
+	inv := make([]int, len(edges))
+	sorted := make([]Edge, len(edges))
+	for newIdx, oldIdx := range perm {
+		sorted[newIdx] = edges[oldIdx]
+		inv[oldIdx] = newIdx
+	}
+	for v := range edgeAt {
+		for i := range edgeAt[v] {
+			edgeAt[v][i] = inv[edgeAt[v][i]]
+		}
+	}
+	return sorted, edgeAt
+}

@@ -1,0 +1,26 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBaselineComparison(t *testing.T) {
+	row, err := BaselineComparison(1, 12, 4, 6)
+	if err != nil {
+		t.Fatalf("BaselineComparison: %v", err)
+	}
+	if !row.ExactAll {
+		t.Fatal("12-node instances should be within the exact budget")
+	}
+	// Sandwich: exact <= each heuristic; greedy-EDS <= greedy-MM is not
+	// a theorem but the distributed result must be feasible and at least
+	// the optimum.
+	if row.Exact > row.Distributed || row.Exact > row.GreedyMM || row.Exact > row.GreedyEDS {
+		t.Errorf("exact total %d exceeds a heuristic: %+v", row.Exact, row)
+	}
+	out := FormatBaseline([]BaselineRow{row})
+	if !strings.Contains(out, "distributed") || !strings.Contains(out, "greedy-eds") {
+		t.Errorf("FormatBaseline missing headers:\n%s", out)
+	}
+}

@@ -1,0 +1,305 @@
+// Package local contains centralized reference implementations of the
+// paper's distributed algorithms. Each reference replays the exact
+// decision sequence of its distributed counterpart — same pair order,
+// same proposal order, same tie-breaking — but on global state, so tests
+// can demand edge-for-edge equality between a sim execution and the
+// reference. A protocol bug (round misalignment, wrong tie-break, state
+// leaking between phases) shows up as a diff here long before it shows up
+// as an infeasible output.
+package local
+
+import (
+	"fmt"
+
+	"eds/internal/core"
+	"eds/internal/graph"
+)
+
+// PortOne returns the Theorem 3 selection: every edge connected to a port
+// with port number 1.
+func PortOne(g *graph.Graph) *graph.EdgeSet {
+	s := graph.NewEdgeSet(g.M())
+	for idx, e := range g.Edges() {
+		if e.A.Num == 1 || e.B.Num == 1 {
+			s.Add(idx)
+		}
+	}
+	return s
+}
+
+// AllEdges returns every edge of the graph (the Δ = 1 optimum).
+func AllEdges(g *graph.Graph) *graph.EdgeSet {
+	s := graph.NewEdgeSet(g.M())
+	for idx := range g.Edges() {
+		s.Add(idx)
+	}
+	return s
+}
+
+// proposerEdge resolves the distinguishable edge of proposer v for pair
+// (i,j), returning the edge index and the responder.
+func proposerEdge(g *graph.Graph, v, i int) (edge int, responder int) {
+	return g.EdgeAt(v, i), g.P(v, i).Node
+}
+
+// RegularOdd replays the Theorem 4 algorithm on a d-regular graph. It
+// returns an error if the graph is not regular, because the distributed
+// round schedule (derived from each node's own degree) is only globally
+// aligned on regular graphs.
+func RegularOdd(g *graph.Graph, skipPruning bool) (*graph.EdgeSet, error) {
+	d, ok := g.Regular()
+	if !ok {
+		return nil, fmt.Errorf("local: RegularOdd needs a regular graph")
+	}
+	// Distinguishable ports, once per node.
+	dpOwn := make([]int, g.N())
+	dpPeer := make([]int, g.N())
+	for v := 0; v < g.N(); v++ {
+		dpOwn[v], dpPeer[v], _ = core.DistinguishablePort(g, v)
+	}
+	D := graph.NewEdgeSet(g.M())
+	degD := make([]int, g.N())
+	addEdge := func(idx int) {
+		if !D.Has(idx) {
+			D.Add(idx)
+			e := g.Edge(idx)
+			degD[e.A.Node]++
+			if e.A != e.B {
+				degD[e.B.Node]++
+			}
+		}
+	}
+	removeEdge := func(idx int) {
+		if D.Has(idx) {
+			D.Remove(idx)
+			e := g.Edge(idx)
+			degD[e.A.Node]--
+			if e.A != e.B {
+				degD[e.B.Node]--
+			}
+		}
+	}
+	// Phase I: build the edge cover.
+	for i := 1; i <= d; i++ {
+		for j := 1; j <= d; j++ {
+			for v := 0; v < g.N(); v++ {
+				if dpOwn[v] != i || dpPeer[v] != j {
+					continue
+				}
+				idx, u := proposerEdge(g, v, i)
+				if !(degD[v] > 0 && degD[u] > 0) {
+					addEdge(idx)
+				}
+			}
+		}
+	}
+	if skipPruning {
+		return D, nil
+	}
+	// Phase II: prune redundant edges.
+	for i := 1; i <= d; i++ {
+		for j := 1; j <= d; j++ {
+			for v := 0; v < g.N(); v++ {
+				if dpOwn[v] != i || dpPeer[v] != j {
+					continue
+				}
+				idx, u := proposerEdge(g, v, i)
+				if !D.Has(idx) {
+					continue
+				}
+				if degD[v] >= 2 && degD[u] >= 2 {
+					removeEdge(idx)
+				}
+			}
+		}
+	}
+	return D, nil
+}
+
+// GeneralResult carries the phase decomposition of a Theorem 5 run: the
+// matching M (phases I-II), the 2-matching P (phase III), and the output
+// D = M ∪ P.
+type GeneralResult struct {
+	D, M, P *graph.EdgeSet
+}
+
+// General replays the Theorem 5 algorithm A(Δ). Delta is normalised to
+// the next odd value like core.NewGeneral. It returns an error if the
+// graph's maximum degree exceeds Δ.
+func General(g *graph.Graph, delta int) (GeneralResult, error) {
+	if delta < 2 {
+		return GeneralResult{}, fmt.Errorf("local: General needs Δ >= 2, got %d", delta)
+	}
+	if delta%2 == 0 {
+		delta++
+	}
+	if md := g.MaxDegree(); md > delta {
+		return GeneralResult{}, fmt.Errorf("local: max degree %d exceeds Δ = %d", md, delta)
+	}
+	n := g.N()
+	dpOwn := make([]int, n)
+	dpPeer := make([]int, n)
+	for v := 0; v < n; v++ {
+		dpOwn[v], dpPeer[v], _ = core.DistinguishablePort(g, v)
+	}
+	M := graph.NewEdgeSet(g.M())
+	covered := make([]bool, n) // covered by M
+	// Phase I: greedy matching over the distinguishable pairs.
+	for i := 1; i <= delta; i++ {
+		for j := 1; j <= delta; j++ {
+			for v := 0; v < n; v++ {
+				if dpOwn[v] != i || dpPeer[v] != j {
+					continue
+				}
+				idx, u := proposerEdge(g, v, i)
+				if !covered[v] && !covered[u] {
+					M.Add(idx)
+					covered[v] = true
+					covered[u] = true
+				}
+			}
+		}
+	}
+	// Phase II: for each i, a maximal matching on B_i via port-ordered
+	// proposals from the degree-i (black) side.
+	for i := 2; i <= delta; i++ {
+		covAtStart := append([]bool(nil), covered...)
+		type blackState struct {
+			eligible []int // 0-based ports
+			ptr      int
+			matched  bool
+		}
+		blacks := make(map[int]*blackState)
+		for v := 0; v < n; v++ {
+			if g.Deg(v) != i || covAtStart[v] {
+				continue
+			}
+			bs := &blackState{}
+			for idx := 0; idx < g.Deg(v); idx++ {
+				u := g.Neighbour(v, idx+1)
+				if g.Deg(u) < i && !covAtStart[u] {
+					bs.eligible = append(bs.eligible, idx)
+				}
+			}
+			blacks[v] = bs
+		}
+		for c := 0; c < i; c++ {
+			// Proposal round: black v proposes on port bs.eligible[bs.ptr].
+			type incoming struct {
+				whitePort int // 0-based port at the white node
+				black     int
+			}
+			byWhite := make(map[int][]incoming)
+			for v := 0; v < n; v++ {
+				bs, ok := blacks[v]
+				if !ok || bs.matched || bs.ptr >= len(bs.eligible) {
+					continue
+				}
+				q := g.P(v, bs.eligible[bs.ptr]+1)
+				byWhite[q.Node] = append(byWhite[q.Node], incoming{whitePort: q.Num - 1, black: v})
+			}
+			// Answer round: each white accepts the smallest-port proposal
+			// if it is still uncovered.
+			for u, props := range byWhite {
+				best := -1
+				for k, p := range props {
+					if best == -1 || p.whitePort < props[best].whitePort {
+						best = k
+					}
+				}
+				for k, p := range props {
+					bs := blacks[p.black]
+					if k == best && !covered[u] {
+						M.Add(g.EdgeAt(u, p.whitePort+1))
+						covered[u] = true
+						covered[p.black] = true
+						bs.matched = true
+					} else {
+						bs.ptr++
+					}
+				}
+			}
+		}
+	}
+	// Phase III: the double-cover 2-matching on the M-uncovered subgraph.
+	P := DoubleCoverTwoMatching(g, covered, delta)
+	D := M.Clone()
+	D.Union(P)
+	return GeneralResult{D: D, M: M, P: P}, nil
+}
+
+// DoubleCoverTwoMatching replays the proposal protocol of Theorem 5's
+// phase III (Polishchuk–Suomela): on the subgraph of edges whose
+// endpoints are both unflagged in excluded, every node proposes along
+// its eligible ports in increasing order until accepted and accepts the
+// first incoming proposal of its life; cycles copies of the protocol
+// run. The accepted edges form a 2-matching dominating every eligible
+// edge. Pass a nil excluded slice to run on the whole graph.
+func DoubleCoverTwoMatching(g *graph.Graph, excluded []bool, cycles int) *graph.EdgeSet {
+	n := g.N()
+	if excluded == nil {
+		excluded = make([]bool, n)
+	}
+	P := graph.NewEdgeSet(g.M())
+	type h3 struct {
+		eligible         []int
+		ptr              int
+		sentAccepted     bool
+		acceptedIncoming bool
+	}
+	hs := make([]*h3, n)
+	for v := 0; v < n; v++ {
+		hs[v] = &h3{}
+		if excluded[v] {
+			continue
+		}
+		for idx := 0; idx < g.Deg(v); idx++ {
+			if !excluded[g.Neighbour(v, idx+1)] {
+				hs[v].eligible = append(hs[v].eligible, idx)
+			}
+		}
+	}
+	for c := 0; c < cycles; c++ {
+		type incoming struct {
+			port     int // 0-based port at the receiver
+			proposer int
+		}
+		byNode := make(map[int][]incoming)
+		for v := 0; v < n; v++ {
+			s := hs[v]
+			if excluded[v] || s.sentAccepted || s.ptr >= len(s.eligible) {
+				continue
+			}
+			q := g.P(v, s.eligible[s.ptr]+1)
+			byNode[q.Node] = append(byNode[q.Node], incoming{port: q.Num - 1, proposer: v})
+		}
+		for u, props := range byNode {
+			best := -1
+			if !hs[u].acceptedIncoming {
+				for k, p := range props {
+					if best == -1 || p.port < props[best].port {
+						best = k
+					}
+				}
+			}
+			for k, p := range props {
+				if k == best {
+					P.Add(g.EdgeAt(u, p.port+1))
+					hs[u].acceptedIncoming = true
+					hs[p.proposer].sentAccepted = true
+				} else {
+					hs[p.proposer].ptr++
+				}
+			}
+		}
+	}
+	return P
+}
+
+// VertexCover3 is the centralized reference of core.VertexCover3: the
+// nodes covered by the whole-graph double-cover 2-matching form a vertex
+// cover of size at most 3 times the minimum.
+func VertexCover3(g *graph.Graph, delta int) []bool {
+	p := DoubleCoverTwoMatching(g, nil, delta)
+	return graph.CoveredNodes(g, p)
+}

@@ -1,0 +1,159 @@
+package local
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"eds/internal/gen"
+	"eds/internal/graph"
+	"eds/internal/verify"
+)
+
+func TestPortOneSelectsPortOneEdges(t *testing.T) {
+	g := gen.Complete(5)
+	d := PortOne(g)
+	for idx, e := range g.Edges() {
+		want := e.A.Num == 1 || e.B.Num == 1
+		if d.Has(idx) != want {
+			t.Errorf("edge %v: Has = %v, want %v", e, d.Has(idx), want)
+		}
+	}
+	if !verify.IsEdgeCover(g, d) {
+		t.Error("PortOne output must cover every node")
+	}
+}
+
+func TestAllEdges(t *testing.T) {
+	g := gen.Cycle(7)
+	if AllEdges(g).Count() != g.M() {
+		t.Error("AllEdges must select every edge")
+	}
+}
+
+func TestRegularOddInvariantsQuick(t *testing.T) {
+	// Theorem 4's structural claims: the output is an edge cover, a
+	// forest of node-disjoint stars, with |D| <= d|V|/(d+1).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := []int{1, 3, 5}[rng.Intn(3)]
+		n := d + 1 + rng.Intn(12)
+		if n*d%2 != 0 {
+			n++
+		}
+		g, err := gen.RandomRegular(rng, n, d)
+		if err != nil {
+			return false
+		}
+		out, err := RegularOdd(g, false)
+		if err != nil {
+			return false
+		}
+		if !verify.IsEdgeCover(g, out) || !verify.IsStarForest(g, out) {
+			return false
+		}
+		if (d+1)*out.Count() > d*g.N() {
+			return false
+		}
+		// Phase I alone: spanning forest, still an edge cover.
+		phase1, err := RegularOdd(g, true)
+		if err != nil {
+			return false
+		}
+		return verify.IsEdgeCover(g, phase1) && verify.IsForest(g, phase1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegularOddRejectsIrregular(t *testing.T) {
+	if _, err := RegularOdd(gen.Path(4), false); err == nil {
+		t.Error("irregular graph accepted")
+	}
+}
+
+func TestGeneralStructuralPropertiesQuick(t *testing.T) {
+	// Properties (a)-(c) of Section 7.3 plus feasibility, on random
+	// bounded-degree graphs.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.RandomBoundedDegree(rng, 5+rng.Intn(15), 2+rng.Intn(5), 0.5)
+		delta := g.MaxDegree()
+		if delta < 2 {
+			delta = 2
+		}
+		res, err := General(g, delta)
+		if err != nil {
+			return false
+		}
+		// (a) M matching, P 2-matching, node-disjoint.
+		if !verify.IsMatching(g, res.M) || !verify.IsKMatching(g, res.P, 2) {
+			return false
+		}
+		mNodes := graph.CoveredNodes(g, res.M)
+		pNodes := graph.CoveredNodes(g, res.P)
+		for v := 0; v < g.N(); v++ {
+			if mNodes[v] && pNodes[v] {
+				return false
+			}
+		}
+		// (b) every odd-degree node is covered by M or has a neighbour
+		// covered by M.
+		for v := 0; v < g.N(); v++ {
+			if g.Deg(v)%2 == 0 || mNodes[v] {
+				continue
+			}
+			ok := false
+			for i := 1; i <= g.Deg(v); i++ {
+				if mNodes[g.Neighbour(v, i)] {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return false
+			}
+		}
+		// (c) every P-edge joins equal-degree endpoints.
+		bad := false
+		res.P.ForEach(func(idx int) bool {
+			e := g.Edge(idx)
+			if g.Deg(e.U()) != g.Deg(e.V()) {
+				bad = true
+				return false
+			}
+			return true
+		})
+		if bad {
+			return false
+		}
+		// Feasibility.
+		return verify.IsEdgeDominatingSet(g, res.D)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeneralRejectsBadDelta(t *testing.T) {
+	g := gen.Complete(5) // max degree 4
+	if _, err := General(g, 3); err == nil {
+		t.Error("Δ below max degree accepted")
+	}
+	if _, err := General(g, 1); err == nil {
+		t.Error("Δ = 1 accepted")
+	}
+}
+
+func TestRandomizedMaximalMatchingQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.RandomBoundedDegree(rng, 4+rng.Intn(12), 1+rng.Intn(5), 0.5)
+		mm := RandomizedMaximalMatching(rng, g)
+		return verify.IsMaximalMatching(g, mm)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

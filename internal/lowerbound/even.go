@@ -1,0 +1,94 @@
+// Package lowerbound builds the paper's adversarial port-numbered graphs:
+// the Theorem 1 construction for even-degree regular graphs and the
+// Theorem 2 construction for odd-degree regular graphs, together with
+// their quotient multigraphs and covering maps. On these inputs the
+// covering-map argument forces *every* deterministic algorithm to pay the
+// Table 1 ratio, so running the paper's algorithms on them reproduces the
+// table exactly.
+package lowerbound
+
+import (
+	"fmt"
+
+	"eds/internal/factor"
+	"eds/internal/graph"
+)
+
+// Construction packages an adversarial instance: the graph, an optimal
+// edge dominating set, the quotient multigraph, and the covering map from
+// the graph onto the quotient.
+type Construction struct {
+	// G is the adversarial d-regular port-numbered graph.
+	G *graph.Graph
+	// Opt is an optimal edge dominating set of G (the paper's S for even
+	// d, D* for odd d).
+	Opt *graph.EdgeSet
+	// Quotient is the multigraph that G covers; all nodes of G in the
+	// same fibre are indistinguishable to any deterministic algorithm.
+	Quotient *graph.Graph
+	// Map is the covering map: Map[v] is the quotient node of v.
+	Map []int
+}
+
+// Even builds the Theorem 1 construction for even d >= 2 (Figure 4 shows
+// d = 6): nodes A = {a_1..a_d} and B = {b_1..b_{d-1}}, edge set
+// S = {{a_1,a_2}, {a_3,a_4}, ...} (the optimum) plus the complete
+// bipartite graph A x B, port-numbered along a 2-factorisation so that
+// the whole graph covers a single-node multigraph with d/2 loops.
+func Even(d int) (*Construction, error) {
+	if d < 2 || d%2 != 0 {
+		return nil, fmt.Errorf("lowerbound: Even needs an even d >= 2, got %d", d)
+	}
+	k := d / 2
+	n := 2*d - 1 // a_i = 0..d-1, b_j = d..2d-2
+	edges := make([][2]int, 0, n*d/2)
+	var optPairs [][2]int
+	for t := 0; t < k; t++ {
+		e := [2]int{2 * t, 2*t + 1}
+		edges = append(edges, e)
+		optPairs = append(optPairs, e)
+	}
+	for i := 0; i < d; i++ {
+		for j := 0; j < d-1; j++ {
+			edges = append(edges, [2]int{i, d + j})
+		}
+	}
+	asg, err := factor.PairPorts(factor.Multi{N: n, Edges: edges})
+	if err != nil {
+		return nil, fmt.Errorf("lowerbound: factorising Theorem 1 graph: %w", err)
+	}
+	b := graph.NewBuilder(n)
+	for _, a := range asg {
+		if err := b.Connect(a.U, a.PU, a.V, a.PV); err != nil {
+			return nil, err
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	opt, err := graph.EdgeSetFromPairs(g, optPairs)
+	if err != nil {
+		return nil, err
+	}
+	// Quotient: one node with k undirected loops numbered (2i-1, 2i).
+	qb := graph.NewBuilder(1)
+	for i := 1; i <= k; i++ {
+		qb.MustConnect(0, 2*i-1, 0, 2*i)
+	}
+	return &Construction{
+		G:        g,
+		Opt:      opt,
+		Quotient: qb.MustBuild(),
+		Map:      make([]int, n),
+	}, nil
+}
+
+// MustEven is Even but panics on error.
+func MustEven(d int) *Construction {
+	c, err := Even(d)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

@@ -1,0 +1,199 @@
+package lowerbound
+
+import (
+	"testing"
+
+	"eds/internal/cover"
+	"eds/internal/graph"
+	"eds/internal/verify"
+)
+
+func TestEvenStructure(t *testing.T) {
+	for _, d := range []int{2, 4, 6, 8, 10} {
+		c, err := Even(d)
+		if err != nil {
+			t.Fatalf("Even(%d): %v", d, err)
+		}
+		if err := c.G.Validate(); err != nil {
+			t.Fatalf("Even(%d) Validate: %v", d, err)
+		}
+		if got, want := c.G.N(), 2*d-1; got != want {
+			t.Errorf("Even(%d): N = %d, want %d", d, got, want)
+		}
+		if got, ok := c.G.Regular(); !ok || got != d {
+			t.Errorf("Even(%d): Regular = (%d,%v), want (%d,true)", d, got, ok, d)
+		}
+		if !c.G.IsSimple() {
+			t.Errorf("Even(%d): not simple", d)
+		}
+		if got, want := c.Opt.Count(), d/2; got != want {
+			t.Errorf("Even(%d): |S| = %d, want %d", d, got, want)
+		}
+		// The pair port numbering: port 2i-1 always faces port 2i.
+		for v := 0; v < c.G.N(); v++ {
+			for i := 1; i <= d; i += 2 {
+				if q := c.G.P(v, i); q.Num != i+1 {
+					t.Errorf("Even(%d): p(%d,%d) = %v, want peer port %d", d, v, i, q, i+1)
+				}
+			}
+		}
+	}
+}
+
+func TestEvenCoveringMap(t *testing.T) {
+	for _, d := range []int{2, 4, 6, 12} {
+		c := MustEven(d)
+		if err := cover.Verify(c.G, c.Quotient, c.Map); err != nil {
+			t.Errorf("Even(%d): covering map invalid: %v", d, err)
+		}
+	}
+}
+
+func TestEvenOptIsOptimal(t *testing.T) {
+	// Exact solver confirms |S| = d/2 is optimal (small d only; the
+	// solver is exponential).
+	for _, d := range []int{2, 4, 6} {
+		c := MustEven(d)
+		if !verify.IsEdgeDominatingSet(c.G, c.Opt) {
+			t.Fatalf("Even(%d): S is not an EDS", d)
+		}
+		exact := verify.MinimumMaximalMatching(c.G)
+		if exact.Count() != c.Opt.Count() {
+			t.Errorf("Even(%d): |S| = %d but optimum = %d", d, c.Opt.Count(), exact.Count())
+		}
+	}
+}
+
+func TestEvenRejectsOddD(t *testing.T) {
+	if _, err := Even(3); err == nil {
+		t.Error("Even(3) accepted")
+	}
+	if _, err := Even(0); err == nil {
+		t.Error("Even(0) accepted")
+	}
+}
+
+func TestOddStructure(t *testing.T) {
+	for _, d := range []int{1, 3, 5, 7, 9} {
+		c, err := Odd(d)
+		if err != nil {
+			t.Fatalf("Odd(%d): %v", d, err)
+		}
+		if err := c.G.Validate(); err != nil {
+			t.Fatalf("Odd(%d) Validate: %v", d, err)
+		}
+		k := (d - 1) / 2
+		wantN := d*(2*d-1) + d + 2*k
+		if got := c.G.N(); got != wantN {
+			t.Errorf("Odd(%d): N = %d, want %d", d, got, wantN)
+		}
+		if got, ok := c.G.Regular(); !ok || got != d {
+			t.Errorf("Odd(%d): Regular = (%d,%v), want (%d,true)", d, got, ok, d)
+		}
+		if !c.G.IsSimple() {
+			t.Errorf("Odd(%d): not simple", d)
+		}
+		if got, want := c.Opt.Count(), (k+1)*d; got != want {
+			t.Errorf("Odd(%d): |D*| = %d, want %d", d, got, want)
+		}
+		if !verify.IsEdgeDominatingSet(c.G, c.Opt) {
+			t.Errorf("Odd(%d): D* is not an EDS", d)
+		}
+	}
+}
+
+func TestOddCoveringMap(t *testing.T) {
+	for _, d := range []int{1, 3, 5, 7} {
+		c := MustOdd(d)
+		if err := cover.Verify(c.G, c.Quotient, c.Map); err != nil {
+			t.Errorf("Odd(%d): covering map invalid: %v", d, err)
+		}
+	}
+}
+
+func TestOddOptIsOptimal(t *testing.T) {
+	// Exact check is only tractable for d <= 3 (d = 3 has 21 nodes and
+	// ~31 edges).
+	for _, d := range []int{1, 3} {
+		c := MustOdd(d)
+		exact := verify.MinimumMaximalMatching(c.G)
+		if exact.Count() != c.Opt.Count() {
+			t.Errorf("Odd(%d): |D*| = %d but optimum = %d", d, c.Opt.Count(), exact.Count())
+		}
+	}
+}
+
+func TestOddEveryEdgeDominatedByExactlyOneOptEdge(t *testing.T) {
+	// Section 4.2: each edge not in D* is adjacent to exactly one edge of
+	// D*.
+	c := MustOdd(5)
+	optDeg := graph.DegreeIn(c.G, c.Opt)
+	for idx, e := range c.G.Edges() {
+		if c.Opt.Has(idx) {
+			continue
+		}
+		adj := optDeg[e.A.Node] + optDeg[e.B.Node]
+		if adj != 1 {
+			t.Errorf("edge %v adjacent to %d optimum edges, want exactly 1", e, adj)
+		}
+	}
+}
+
+func TestOddRejectsEvenD(t *testing.T) {
+	if _, err := Odd(2); err == nil {
+		t.Error("Odd(2) accepted")
+	}
+	if _, err := Odd(-1); err == nil {
+		t.Error("Odd(-1) accepted")
+	}
+}
+
+func TestComponentStructure(t *testing.T) {
+	// H(ℓ) is 2k-regular on 4k+1 nodes with the pair numbering.
+	for _, d := range []int{3, 5, 7} {
+		h, err := Component(d)
+		if err != nil {
+			t.Fatalf("Component(%d): %v", d, err)
+		}
+		k := (d - 1) / 2
+		if got, want := h.N(), 4*k+1; got != want {
+			t.Errorf("Component(%d): N = %d, want %d", d, got, want)
+		}
+		if got, ok := h.Regular(); !ok || got != 2*k {
+			t.Errorf("Component(%d): Regular = (%d,%v), want (%d,true)", d, got, ok, 2*k)
+		}
+	}
+}
+
+func TestOddExternalWiring(t *testing.T) {
+	// Every edge between a hub u ∈ P∪Q and a component node v ∈ H(ℓ)
+	// joins port ℓ of u to port d of v (Section 4.1).
+	d := 5
+	c := MustOdd(d)
+	l := oddLayout{d: d, k: (d - 1) / 2}
+	hubStart := l.p(1)
+	for _, e := range c.G.Edges() {
+		aHub := e.A.Node >= hubStart
+		bHub := e.B.Node >= hubStart
+		if aHub == bHub {
+			continue // internal to a component, or impossible hub-hub
+		}
+		hub, comp := e.A, e.B
+		if bHub {
+			hub, comp = e.B, e.A
+		}
+		ell := c.Map[comp.Node] + 1
+		if hub.Num != ell {
+			t.Errorf("hub edge %v: hub port %d, want component index %d", e, hub.Num, ell)
+		}
+		if comp.Num != d {
+			t.Errorf("hub edge %v: component port %d, want %d", e, comp.Num, d)
+		}
+	}
+	// And there are no hub-hub edges at all.
+	for _, e := range c.G.Edges() {
+		if e.A.Node >= hubStart && e.B.Node >= hubStart {
+			t.Errorf("unexpected hub-hub edge %v", e)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package lowerbound
+
+import (
+	"fmt"
+
+	"eds/internal/factor"
+	"eds/internal/graph"
+)
+
+// oddLayout computes the node indexing of the Theorem 2 construction for
+// odd d = 2k+1: d components H(ℓ) of 2d-1 nodes each, then the hubs
+// P = {p_1..p_d} and Q = {q_1..q_2k}.
+type oddLayout struct {
+	d, k int
+}
+
+func (l oddLayout) compBase(ell int) int { return (ell - 1) * (2*l.d - 1) } // ℓ is 1-based
+func (l oddLayout) a(ell, i int) int     { return l.compBase(ell) + i - 1 } // i = 1..2k
+func (l oddLayout) b(ell, i int) int     { return l.compBase(ell) + 2*l.k + i - 1 }
+func (l oddLayout) c(ell int) int        { return l.compBase(ell) + 4*l.k }
+func (l oddLayout) p(ell int) int        { return l.d*(2*l.d-1) + ell - 1 }
+func (l oddLayout) q(i int) int          { return l.d*(2*l.d-1) + l.d + i - 1 }
+func (l oddLayout) n() int               { return l.d*(2*l.d-1) + l.d + 2*l.k }
+
+// componentEdges lists the internal edges of H(ℓ) in local indices
+// 0..4k: a_{ℓ,i} = i-1, b_{ℓ,i} = 2k+i-1, c_ℓ = 4k. The edge classes are
+// R(ℓ) (a star at c_ℓ), S(ℓ) (a perfect matching on A(ℓ), part of the
+// optimum), and T(ℓ) (a crown: complete bipartite minus the matching
+// {a_i, b_i}).
+func componentEdges(k int) (all [][2]int, s [][2]int) {
+	cLocal := 4 * k
+	for i := 1; i <= 2*k; i++ { // R(ℓ)
+		all = append(all, [2]int{cLocal, 2*k + i - 1})
+	}
+	for t := 1; t <= k; t++ { // S(ℓ)
+		e := [2]int{2*t - 2, 2*t - 1}
+		all = append(all, e)
+		s = append(s, e)
+	}
+	for i := 1; i <= 2*k; i++ { // T(ℓ)
+		for j := 1; j <= 2*k; j++ {
+			if i != j {
+				all = append(all, [2]int{i - 1, 2*k + j - 1})
+			}
+		}
+	}
+	return all, s
+}
+
+// Odd builds the Theorem 2 construction for odd d >= 1 (Figures 5-7 show
+// d = 5). Each component H(ℓ) is 2k-regular and carries the adversarial
+// pair port numbering on ports 1..2k; port d of every component node goes
+// to the hubs P ∪ Q exactly as prescribed in Section 4.1. The optimum is
+// D* = Y ∪ ⋃_ℓ S(ℓ) with |D*| = (k+1)d.
+func Odd(d int) (*Construction, error) {
+	if d < 1 || d%2 != 1 {
+		return nil, fmt.Errorf("lowerbound: Odd needs an odd d >= 1, got %d", d)
+	}
+	k := (d - 1) / 2
+	l := oddLayout{d: d, k: k}
+	b := graph.NewBuilder(l.n())
+	var optPairs [][2]int
+
+	compEdges, compS := componentEdges(k)
+	for ell := 1; ell <= d; ell++ {
+		base := l.compBase(ell)
+		if len(compEdges) > 0 {
+			asg, err := factor.PairPorts(factor.Multi{N: 4*k + 1, Edges: compEdges})
+			if err != nil {
+				return nil, fmt.Errorf("lowerbound: factorising H(%d): %w", ell, err)
+			}
+			for _, a := range asg {
+				if err := b.Connect(base+a.U, a.PU, base+a.V, a.PV); err != nil {
+					return nil, err
+				}
+			}
+		}
+		for _, e := range compS {
+			optPairs = append(optPairs, [2]int{base + e[0], base + e[1]})
+		}
+	}
+	// External connections (each uses port d on the component side).
+	for ell := 1; ell <= d; ell++ {
+		// (p_ℓ, ℓ) <-> (c_ℓ, d); these edges form Y, part of the optimum.
+		if err := b.Connect(l.p(ell), ell, l.c(ell), d); err != nil {
+			return nil, err
+		}
+		optPairs = append(optPairs, [2]int{l.p(ell), l.c(ell)})
+		for i := 1; i <= 2*k; i++ {
+			if i != ell {
+				// (p_i, ℓ) <-> (b_{ℓ,i}, d)
+				if err := b.Connect(l.p(i), ell, l.b(ell, i), d); err != nil {
+					return nil, err
+				}
+			}
+			// (q_i, ℓ) <-> (a_{ℓ,i}, d)
+			if err := b.Connect(l.q(i), ell, l.a(ell, i), d); err != nil {
+				return nil, err
+			}
+		}
+		// (p_d, ℓ) <-> (b_{ℓ,ℓ}, d) for ℓ <= 2k.
+		if ell <= 2*k {
+			if err := b.Connect(l.p(d), ell, l.b(ell, ell), d); err != nil {
+				return nil, err
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	opt, err := graph.EdgeSetFromPairs(g, optPairs)
+	if err != nil {
+		return nil, err
+	}
+	// Quotient: x_1..x_d (each with k loops and one edge to y) plus y.
+	qb := graph.NewBuilder(d + 1)
+	for ell := 0; ell < d; ell++ {
+		for i := 1; i <= k; i++ {
+			qb.MustConnect(ell, 2*i-1, ell, 2*i)
+		}
+		qb.MustConnect(d, ell+1, ell, d)
+	}
+	quotient, err := qb.Build()
+	if err != nil {
+		return nil, err
+	}
+	cmap := make([]int, l.n())
+	for ell := 1; ell <= d; ell++ {
+		for local := 0; local < 2*d-1; local++ {
+			cmap[l.compBase(ell)+local] = ell - 1
+		}
+	}
+	for v := l.p(1); v < l.n(); v++ {
+		cmap[v] = d
+	}
+	return &Construction{G: g, Opt: opt, Quotient: quotient, Map: cmap}, nil
+}
+
+// MustOdd is Odd but panics on error.
+func MustOdd(d int) *Construction {
+	c, err := Odd(d)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Component returns the standalone 2k-regular component H(ℓ) of the Odd
+// construction (ports 1..2k only, without the external port d), as
+// rendered in Figure 5. Requires odd d >= 3.
+func Component(d int) (*graph.Graph, error) {
+	if d < 3 || d%2 != 1 {
+		return nil, fmt.Errorf("lowerbound: Component needs an odd d >= 3, got %d", d)
+	}
+	k := (d - 1) / 2
+	compEdges, _ := componentEdges(k)
+	asg, err := factor.PairPorts(factor.Multi{N: 4*k + 1, Edges: compEdges})
+	if err != nil {
+		return nil, err
+	}
+	b := graph.NewBuilder(4*k + 1)
+	for _, a := range asg {
+		if err := b.Connect(a.U, a.PU, a.V, a.PV); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,114 @@
+// Package ratio implements small exact rational numbers. Table 1 of the
+// paper states approximation ratios as exact fractions (4 - 2/d,
+// 4 - 6/(d+1), 4 - 1/k); the experiment harness compares measured ratios
+// to those formulas as rational equalities, not float approximations.
+package ratio
+
+import (
+	"fmt"
+)
+
+// R is a rational number Num/Den in lowest terms with Den > 0. The zero
+// value is 0/1.
+type R struct {
+	Num, Den int64
+}
+
+// New returns num/den in lowest terms. It panics when den == 0.
+func New(num, den int64) R {
+	if den == 0 {
+		panic("ratio: zero denominator")
+	}
+	if den < 0 {
+		num, den = -num, -den
+	}
+	g := gcd(abs(num), den)
+	if g == 0 {
+		return R{Num: 0, Den: 1}
+	}
+	return R{Num: num / g, Den: den / g}
+}
+
+// FromInt returns n/1.
+func FromInt(n int64) R { return R{Num: n, Den: 1} }
+
+func abs(a int64) int64 {
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// Add returns r + s.
+func (r R) Add(s R) R { return New(r.num()*s.den()+s.num()*r.den(), r.den()*s.den()) }
+
+// Sub returns r - s.
+func (r R) Sub(s R) R { return New(r.num()*s.den()-s.num()*r.den(), r.den()*s.den()) }
+
+// Mul returns r * s.
+func (r R) Mul(s R) R { return New(r.num()*s.num(), r.den()*s.den()) }
+
+// num and den normalise the zero value to 0/1.
+func (r R) num() int64 { return r.Num }
+func (r R) den() int64 {
+	if r.Den == 0 {
+		return 1
+	}
+	return r.Den
+}
+
+// Cmp returns -1, 0, or +1 as r is less than, equal to, or greater than s.
+func (r R) Cmp(s R) int {
+	lhs := r.num() * s.den()
+	rhs := s.num() * r.den()
+	switch {
+	case lhs < rhs:
+		return -1
+	case lhs > rhs:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Equal reports whether r == s as rationals.
+func (r R) Equal(s R) bool { return r.Cmp(s) == 0 }
+
+// LessEq reports r <= s.
+func (r R) LessEq(s R) bool { return r.Cmp(s) <= 0 }
+
+// Float64 returns the floating-point value of r.
+func (r R) Float64() float64 { return float64(r.num()) / float64(r.den()) }
+
+// String formats r as "num/den", or just "num" for integers.
+func (r R) String() string {
+	if r.den() == 1 {
+		return fmt.Sprint(r.num())
+	}
+	return fmt.Sprintf("%d/%d", r.num(), r.den())
+}
+
+// EvenRegularBound returns 4 - 2/d, the tight ratio for even d (Theorems
+// 1 and 3).
+func EvenRegularBound(d int) R { return New(int64(4*d-2), int64(d)) }
+
+// OddRegularBound returns 4 - 6/(d+1), the tight ratio for odd d
+// (Theorems 2 and 4).
+func OddRegularBound(d int) R { return New(int64(4*(d+1)-6), int64(d+1)) }
+
+// BoundedDegreeBound returns the tight ratio for maximum degree delta:
+// 1 for Δ = 1 and 4 - 1/k for Δ ∈ {2k, 2k+1} (Corollary 1 and Theorem 5).
+func BoundedDegreeBound(delta int) R {
+	if delta <= 1 {
+		return FromInt(1)
+	}
+	k := delta / 2 // works for both 2k and 2k+1
+	return New(int64(4*k-1), int64(k))
+}

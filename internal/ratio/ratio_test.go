@@ -1,0 +1,126 @@
+package ratio
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewNormalises(t *testing.T) {
+	tests := []struct {
+		num, den int64
+		want     R
+	}{
+		{2, 4, R{1, 2}},
+		{-2, 4, R{-1, 2}},
+		{2, -4, R{-1, 2}},
+		{-2, -4, R{1, 2}},
+		{0, 5, R{0, 1}},
+		{7, 1, R{7, 1}},
+		{6, 3, R{2, 1}},
+	}
+	for _, tc := range tests {
+		if got := New(tc.num, tc.den); got != tc.want {
+			t.Errorf("New(%d,%d) = %v, want %v", tc.num, tc.den, got, tc.want)
+		}
+	}
+}
+
+func TestZeroDenominatorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	New(1, 0)
+}
+
+func TestArithmetic(t *testing.T) {
+	half := New(1, 2)
+	third := New(1, 3)
+	if got := half.Add(third); !got.Equal(New(5, 6)) {
+		t.Errorf("1/2+1/3 = %v", got)
+	}
+	if got := half.Sub(third); !got.Equal(New(1, 6)) {
+		t.Errorf("1/2-1/3 = %v", got)
+	}
+	if got := half.Mul(third); !got.Equal(New(1, 6)) {
+		t.Errorf("1/2*1/3 = %v", got)
+	}
+}
+
+func TestCmpQuick(t *testing.T) {
+	f := func(a, b int16, c, d uint8) bool {
+		den1, den2 := int64(c)+1, int64(d)+1
+		r, s := New(int64(a), den1), New(int64(b), den2)
+		lhs := float64(a) / float64(den1)
+		rhs := float64(b) / float64(den2)
+		switch r.Cmp(s) {
+		case -1:
+			return lhs < rhs
+		case 1:
+			return lhs > rhs
+		default:
+			return lhs == rhs
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoundsMatchPaperFormulas(t *testing.T) {
+	// Table 1, spelled out for the small parameters the paper discusses.
+	tests := []struct {
+		name string
+		got  R
+		want R
+	}{
+		{"even d=2", EvenRegularBound(2), New(3, 1)},
+		{"even d=4", EvenRegularBound(4), New(7, 2)},
+		{"even d=6", EvenRegularBound(6), New(11, 3)},
+		{"odd d=1", OddRegularBound(1), New(1, 1)},
+		{"odd d=3", OddRegularBound(3), New(5, 2)},
+		{"odd d=5", OddRegularBound(5), New(3, 1)},
+		{"odd d=7", OddRegularBound(7), New(13, 4)},
+		{"delta 1", BoundedDegreeBound(1), New(1, 1)},
+		{"delta 2", BoundedDegreeBound(2), New(3, 1)},
+		{"delta 3", BoundedDegreeBound(3), New(3, 1)},
+		{"delta 4", BoundedDegreeBound(4), New(7, 2)},
+		{"delta 5", BoundedDegreeBound(5), New(7, 2)},
+		{"delta 7", BoundedDegreeBound(7), New(11, 3)},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if !tc.got.Equal(tc.want) {
+				t.Errorf("got %v, want %v", tc.got, tc.want)
+			}
+		})
+	}
+}
+
+func TestBoundMonotonicity(t *testing.T) {
+	// α(Δ+1) >= α(Δ) (Section 7), and all bounds sit in [1, 4).
+	prev := BoundedDegreeBound(1)
+	for delta := 2; delta <= 40; delta++ {
+		cur := BoundedDegreeBound(delta)
+		if cur.Cmp(prev) < 0 {
+			t.Errorf("bound decreased at Δ=%d: %v < %v", delta, cur, prev)
+		}
+		if cur.Cmp(FromInt(4)) >= 0 || cur.Cmp(FromInt(1)) < 0 {
+			t.Errorf("bound out of range at Δ=%d: %v", delta, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := New(7, 2).String(); got != "7/2" {
+		t.Errorf("String = %q", got)
+	}
+	if got := FromInt(3).String(); got != "3" {
+		t.Errorf("String = %q", got)
+	}
+	if got := New(7, 2).Float64(); got != 3.5 {
+		t.Errorf("Float64 = %v", got)
+	}
+}

@@ -1,0 +1,122 @@
+// Package render turns port-numbered graphs into Graphviz DOT and plain
+// text, used by cmd/figures to regenerate the paper's Figures 1-9 as
+// machine-checked artifacts.
+package render
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"eds/internal/graph"
+)
+
+// Overlay names an edge set to highlight and the DOT color to use.
+type Overlay struct {
+	Name  string
+	Set   *graph.EdgeSet
+	Color string
+}
+
+// Options configures rendering.
+type Options struct {
+	// Title labels the graph.
+	Title string
+	// NodeLabels overrides the default numeric labels.
+	NodeLabels []string
+	// Overlays highlights edge sets (drawn bold in their color; the first
+	// matching overlay wins).
+	Overlays []Overlay
+	// Ports annotates every edge endpoint with its port number.
+	Ports bool
+	// Classes colors nodes by covering-map fibre.
+	Classes []int
+}
+
+var classPalette = []string{
+	"lightblue", "lightsalmon", "palegreen", "plum", "khaki", "lightpink",
+	"powderblue", "wheat", "thistle", "honeydew", "mistyrose", "lavender",
+}
+
+// DOT renders g as an undirected Graphviz graph. Directed loops are drawn
+// as dashed self-arcs.
+func DOT(g *graph.Graph, opts Options) string {
+	var sb strings.Builder
+	sb.WriteString("graph G {\n")
+	if opts.Title != "" {
+		fmt.Fprintf(&sb, "  label=%q;\n  labelloc=\"t\";\n", opts.Title)
+	}
+	sb.WriteString("  node [shape=circle, fontsize=10];\n  edge [fontsize=8];\n")
+	for v := 0; v < g.N(); v++ {
+		label := fmt.Sprint(v)
+		if opts.NodeLabels != nil && v < len(opts.NodeLabels) {
+			label = opts.NodeLabels[v]
+		}
+		attrs := []string{fmt.Sprintf("label=%q", label)}
+		if opts.Classes != nil && v < len(opts.Classes) {
+			color := classPalette[opts.Classes[v]%len(classPalette)]
+			attrs = append(attrs, "style=filled", fmt.Sprintf("fillcolor=%q", color))
+		}
+		fmt.Fprintf(&sb, "  n%d [%s];\n", v, strings.Join(attrs, ", "))
+	}
+	for idx, e := range g.Edges() {
+		var attrs []string
+		if opts.Ports {
+			attrs = append(attrs,
+				fmt.Sprintf("taillabel=\"%d\"", e.A.Num),
+				fmt.Sprintf("headlabel=\"%d\"", e.B.Num))
+		}
+		for _, ov := range opts.Overlays {
+			if ov.Set.Has(idx) {
+				attrs = append(attrs, fmt.Sprintf("color=%q", ov.Color), "penwidth=2.5")
+				break
+			}
+		}
+		if e.IsDirectedLoop() {
+			attrs = append(attrs, "style=dashed")
+		}
+		line := fmt.Sprintf("  n%d -- n%d", e.A.Node, e.B.Node)
+		if len(attrs) > 0 {
+			line += " [" + strings.Join(attrs, ", ") + "]"
+		}
+		sb.WriteString(line + ";\n")
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// Text renders g as a plain-text port table plus the overlays as edge
+// lists — the format used for the .txt figure artifacts and for quick
+// terminal inspection.
+func Text(g *graph.Graph, opts Options) string {
+	var sb strings.Builder
+	if opts.Title != "" {
+		sb.WriteString(opts.Title + "\n")
+		sb.WriteString(strings.Repeat("=", len(opts.Title)) + "\n")
+	}
+	fmt.Fprintf(&sb, "nodes: %d, edges: %d\n", g.N(), g.M())
+	label := func(v int) string {
+		if opts.NodeLabels != nil && v < len(opts.NodeLabels) {
+			return opts.NodeLabels[v]
+		}
+		return fmt.Sprint(v)
+	}
+	for v := 0; v < g.N(); v++ {
+		fmt.Fprintf(&sb, "  %s (deg %d):", label(v), g.Deg(v))
+		for i := 1; i <= g.Deg(v); i++ {
+			q := g.P(v, i)
+			fmt.Fprintf(&sb, "  %d->%s:%d", i, label(q.Node), q.Num)
+		}
+		sb.WriteString("\n")
+	}
+	for _, ov := range opts.Overlays {
+		pairs := graph.SortedPairs(g, ov.Set)
+		parts := make([]string, 0, len(pairs))
+		for _, p := range pairs {
+			parts = append(parts, fmt.Sprintf("{%s,%s}", label(p[0]), label(p[1])))
+		}
+		sort.Strings(parts)
+		fmt.Fprintf(&sb, "%s (%d edges): %s\n", ov.Name, ov.Set.Count(), strings.Join(parts, " "))
+	}
+	return sb.String()
+}

@@ -1,0 +1,63 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"eds/internal/gen"
+	"eds/internal/graph"
+)
+
+func TestDOTBasics(t *testing.T) {
+	g := gen.Path(3)
+	s := graph.NewEdgeSetOf(g.M(), 0)
+	out := DOT(g, Options{
+		Title:      "test",
+		NodeLabels: []string{"x", "y", "z"},
+		Ports:      true,
+		Overlays:   []Overlay{{Name: "picked", Set: s, Color: "red"}},
+	})
+	for _, want := range []string{
+		"graph G {", `label="test"`, `label="x"`, "n0 -- n1", "n1 -- n2",
+		`color="red"`, "taillabel=", "}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDOTDirectedLoopDashed(t *testing.T) {
+	b := graph.NewBuilder(1)
+	b.MustConnect(0, 1, 0, 1)
+	g := b.MustBuild()
+	out := DOT(g, Options{})
+	if !strings.Contains(out, "style=dashed") {
+		t.Errorf("directed loop not dashed:\n%s", out)
+	}
+	if !strings.Contains(out, "n0 -- n0") {
+		t.Errorf("loop edge missing:\n%s", out)
+	}
+}
+
+func TestDOTClasses(t *testing.T) {
+	g := gen.Path(2)
+	out := DOT(g, Options{Classes: []int{0, 1}})
+	if !strings.Contains(out, "style=filled") {
+		t.Errorf("classes not filled:\n%s", out)
+	}
+}
+
+func TestTextListsPortsAndOverlays(t *testing.T) {
+	g := gen.Cycle(4)
+	all := graph.NewEdgeSet(g.M())
+	for i := 0; i < g.M(); i++ {
+		all.Add(i)
+	}
+	out := Text(g, Options{Title: "C4", Overlays: []Overlay{{Name: "all", Set: all, Color: "red"}}})
+	for _, want := range []string{"C4", "nodes: 4, edges: 4", "all (4 edges)", "{0,1}"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Text output missing %q:\n%s", want, out)
+		}
+	}
+}

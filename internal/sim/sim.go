@@ -1,0 +1,354 @@
+// Package sim executes deterministic distributed algorithms on
+// port-numbered graphs under the synchronous model of Section 2.2 of the
+// paper: in every round each node (i) computes, (ii) sends one message to
+// each of its ports, and (iii) receives one message from each of its
+// ports, routed by the involution p.
+//
+// Two engines are provided. RunSequential is a deterministic single-
+// threaded reference. RunConcurrent runs one goroutine per node and routes
+// messages over capacity-1 channels — the natural Go embedding of the
+// model — with a coordinator barrier keeping rounds aligned. Both must
+// produce identical results on every input; a property test enforces it.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"eds/internal/graph"
+)
+
+// Message is the content sent over one port in one round. nil means the
+// empty message; only non-nil messages are counted in Result.Messages.
+type Message any
+
+// Node is the state machine one node runs. The engine calls Send, then
+// delivers the round's incoming messages via Receive; after Receive it
+// polls Done. Once Done reports true the node is never called again and
+// Output must return the node's chosen ports (the set X(v) of the paper,
+// 1-based port numbers).
+type Node interface {
+	// Send returns the outgoing message for each port; index 0 is port 1.
+	// The returned slice must have exactly one entry per port.
+	Send(round int) []Message
+	// Receive delivers the incoming message of each port for this round.
+	Receive(round int, inbox []Message)
+	// Done reports whether the node has stopped.
+	Done() bool
+	// Output returns the chosen port numbers once Done is true.
+	Output() []int
+}
+
+// Algorithm is a factory of node state machines. In the port-numbering
+// model a starting node knows nothing but its own degree, which is
+// therefore the only argument.
+type Algorithm interface {
+	// Name identifies the algorithm in logs and error messages.
+	Name() string
+	// NewNode returns the initial state of a node with the given degree.
+	NewNode(degree int) Node
+}
+
+// Result summarises one execution.
+type Result struct {
+	// Outputs[v] is the sorted set of ports chosen by node v.
+	Outputs [][]int
+	// Rounds is the number of communication rounds until every node
+	// stopped.
+	Rounds int
+	// Messages counts non-nil messages sent over the whole execution.
+	Messages int
+}
+
+// ErrRoundLimit is returned when an execution exceeds the round budget,
+// which for the paper's algorithms indicates a protocol bug.
+var ErrRoundLimit = errors.New("sim: round limit exceeded")
+
+const defaultMaxRounds = 100_000
+
+type config struct {
+	maxRounds int
+	roundHook func(round int, sent [][]Message)
+}
+
+// Option customises an execution.
+type Option func(*config)
+
+// WithMaxRounds overrides the default round budget.
+func WithMaxRounds(n int) Option {
+	return func(c *config) { c.maxRounds = n }
+}
+
+// WithRoundHook installs a callback invoked after the send phase of every
+// round with the full message matrix (sent[v][i-1] = message sent by v on
+// port i). Only the sequential engine honours the hook; it is meant for
+// traces and figures.
+func WithRoundHook(fn func(round int, sent [][]Message)) Option {
+	return func(c *config) { c.roundHook = fn }
+}
+
+func buildConfig(opts []Option) config {
+	c := config{maxRounds: defaultMaxRounds}
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
+// RunSequential executes the algorithm on g with a deterministic
+// single-threaded engine.
+func RunSequential(g *graph.Graph, a Algorithm, opts ...Option) (*Result, error) {
+	c := buildConfig(opts)
+	n := g.N()
+	nodes := make([]Node, n)
+	done := make([]bool, n)
+	for v := 0; v < n; v++ {
+		nodes[v] = a.NewNode(g.Deg(v))
+	}
+	sent := make([][]Message, n)
+	inbox := make([][]Message, n)
+	for v := 0; v < n; v++ {
+		sent[v] = make([]Message, g.Deg(v))
+		inbox[v] = make([]Message, g.Deg(v))
+	}
+	res := &Result{}
+	for round := 0; ; round++ {
+		allDone := true
+		for v := 0; v < n; v++ {
+			if !done[v] && !nodes[v].Done() {
+				allDone = false
+				break
+			}
+			done[v] = true
+		}
+		if allDone {
+			break
+		}
+		if round >= c.maxRounds {
+			return nil, fmt.Errorf("%w: algorithm %q still running after %d rounds", ErrRoundLimit, a.Name(), round)
+		}
+		res.Rounds = round + 1
+		// Send phase.
+		for v := 0; v < n; v++ {
+			if done[v] {
+				for i := range sent[v] {
+					sent[v][i] = nil
+				}
+				continue
+			}
+			out := nodes[v].Send(round)
+			if len(out) != g.Deg(v) {
+				return nil, fmt.Errorf("sim: algorithm %q: node %d sent %d messages, want %d",
+					a.Name(), v, len(out), g.Deg(v))
+			}
+			copy(sent[v], out)
+			for _, m := range out {
+				if m != nil {
+					res.Messages++
+				}
+			}
+		}
+		if c.roundHook != nil {
+			c.roundHook(round, sent)
+		}
+		// Route via the involution.
+		for v := 0; v < n; v++ {
+			for i := 1; i <= g.Deg(v); i++ {
+				q := g.P(v, i)
+				inbox[q.Node][q.Num-1] = sent[v][i-1]
+			}
+		}
+		// Receive phase.
+		for v := 0; v < n; v++ {
+			if !done[v] {
+				nodes[v].Receive(round, inbox[v])
+			}
+		}
+	}
+	var err error
+	res.Outputs, err = collectOutputs(g, a, nodes)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// RunConcurrent executes the algorithm with one goroutine per node,
+// messages travelling over capacity-1 channels, and a coordinator barrier
+// aligning rounds. Its results are identical to RunSequential because each
+// node's view is deterministic regardless of scheduling.
+func RunConcurrent(g *graph.Graph, a Algorithm, opts ...Option) (*Result, error) {
+	c := buildConfig(opts)
+	n := g.N()
+	nodes := make([]Node, n)
+	for v := 0; v < n; v++ {
+		nodes[v] = a.NewNode(g.Deg(v))
+	}
+	// in[v][i-1] is the inbound channel of port (v, i). Capacity 1: a
+	// round's message parks there until the owner consumes it.
+	in := make([][]chan Message, n)
+	for v := 0; v < n; v++ {
+		in[v] = make([]chan Message, g.Deg(v))
+		for i := range in[v] {
+			in[v][i] = make(chan Message, 1)
+		}
+	}
+	start := make([]chan bool, n) // true = run another round, false = stop
+	reports := make(chan int, n)  // non-nil message count per worker round
+	var wg sync.WaitGroup
+	for v := 0; v < n; v++ {
+		start[v] = make(chan bool, 1)
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			node := nodes[v]
+			deg := g.Deg(v)
+			inbox := make([]Message, deg)
+			done := node.Done()
+			round := 0
+			for cont := range start[v] {
+				if !cont {
+					return
+				}
+				var out []Message
+				sentCount := 0
+				if !done {
+					out = node.Send(round)
+					if len(out) != deg {
+						// A malformed Send would deadlock the peers
+						// mid-round; treat it as a programmer error.
+						panic(fmt.Sprintf("sim: algorithm %q: node %d sent %d messages, want %d",
+							a.Name(), v, len(out), deg))
+					}
+					for _, m := range out {
+						if m != nil {
+							sentCount++
+						}
+					}
+				} else {
+					out = make([]Message, deg)
+				}
+				for i := 1; i <= deg; i++ {
+					q := g.P(v, i)
+					in[q.Node][q.Num-1] <- out[i-1]
+				}
+				for i := 0; i < deg; i++ {
+					inbox[i] = <-in[v][i]
+				}
+				if !done {
+					node.Receive(round, inbox)
+					done = node.Done()
+				}
+				round++
+				reports <- sentCount
+			}
+		}(v)
+	}
+	stopAll := func() {
+		for v := 0; v < n; v++ {
+			start[v] <- false
+		}
+		wg.Wait()
+	}
+	res := &Result{}
+	for round := 0; ; round++ {
+		allDone := true
+		for v := 0; v < n; v++ {
+			if !nodes[v].Done() {
+				allDone = false
+				break
+			}
+		}
+		if allDone {
+			break
+		}
+		if round >= c.maxRounds {
+			stopAll()
+			return nil, fmt.Errorf("%w: algorithm %q still running after %d rounds", ErrRoundLimit, a.Name(), round)
+		}
+		res.Rounds = round + 1
+		for v := 0; v < n; v++ {
+			start[v] <- true
+		}
+		for i := 0; i < n; i++ {
+			res.Messages += <-reports
+		}
+	}
+	stopAll()
+	outputs, err := collectOutputs(g, a, nodes)
+	if err != nil {
+		return nil, err
+	}
+	res.Outputs = outputs
+	return res, nil
+}
+
+// collectOutputs gathers, sorts, and validates the per-node port sets.
+func collectOutputs(g *graph.Graph, a Algorithm, nodes []Node) ([][]int, error) {
+	outputs := make([][]int, len(nodes))
+	for v, node := range nodes {
+		out := append([]int(nil), node.Output()...)
+		sort.Ints(out)
+		for k, p := range out {
+			if p < 1 || p > g.Deg(v) {
+				return nil, fmt.Errorf("sim: algorithm %q: node %d output invalid port %d", a.Name(), v, p)
+			}
+			if k > 0 && out[k-1] == p {
+				return nil, fmt.Errorf("sim: algorithm %q: node %d output duplicate port %d", a.Name(), v, p)
+			}
+		}
+		outputs[v] = out
+	}
+	return outputs, nil
+}
+
+// CheckConsistency verifies the paper's output well-formedness condition:
+// if i ∈ X(v) and p(v,i) = (u,j) then j ∈ X(u).
+func CheckConsistency(g *graph.Graph, outputs [][]int) error {
+	chosen := make([]map[int]bool, g.N())
+	for v, out := range outputs {
+		chosen[v] = make(map[int]bool, len(out))
+		for _, p := range out {
+			chosen[v][p] = true
+		}
+	}
+	for v, out := range outputs {
+		for _, i := range out {
+			q := g.P(v, i)
+			if !chosen[q.Node][q.Num] {
+				return fmt.Errorf("sim: inconsistent output: %d ∈ X(%d) but %d ∉ X(%d)", i, v, q.Num, q.Node)
+			}
+		}
+	}
+	return nil
+}
+
+// EdgeSet converts consistent outputs into the selected edge set D.
+func EdgeSet(g *graph.Graph, outputs [][]int) (*graph.EdgeSet, error) {
+	if err := CheckConsistency(g, outputs); err != nil {
+		return nil, err
+	}
+	s := graph.NewEdgeSet(g.M())
+	for v, out := range outputs {
+		for _, i := range out {
+			s.Add(g.EdgeAt(v, i))
+		}
+	}
+	return s, nil
+}
+
+// RunToEdgeSet runs the algorithm sequentially and returns the selected
+// edge set together with the execution statistics.
+func RunToEdgeSet(g *graph.Graph, a Algorithm, opts ...Option) (*graph.EdgeSet, *Result, error) {
+	res, err := RunSequential(g, a, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	s, err := EdgeSet(g, res.Outputs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, res, nil
+}

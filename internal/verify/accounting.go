@@ -1,0 +1,114 @@
+package verify
+
+import (
+	"fmt"
+
+	"eds/internal/graph"
+)
+
+// Accounting is the cost bookkeeping of the Theorem 5 analysis (Sections
+// 7.4–7.8) evaluated on a concrete run: fix a maximal matching D* (the
+// optimum when D* is a minimum maximal matching), call a node internal
+// when D* covers it, and distribute the size of the algorithm's output D
+// over the internal nodes:
+//
+//   - an edge of D joining an internal and an external node adds 1 to the
+//     internal endpoint;
+//   - an edge of D joining two internal nodes adds 1/2 to each.
+//
+// Costs are stored doubled so they stay integers: 2c(v) ∈ {0,1,2,3,4}.
+type Accounting struct {
+	// Internal flags nodes covered by D*.
+	Internal []bool
+	// DoubleCost[v] = 2c(v) for internal nodes, 0 for external ones.
+	DoubleCost []int
+	// I[x] counts internal nodes with 2c(v) = x (the paper's I_x).
+	I [5]int
+	// SizeD and SizeDstar are |D| and |D*|.
+	SizeD, SizeDstar int
+}
+
+// Account computes the Theorem 5 cost decomposition of output d against
+// the maximal matching dstar. It validates the two identities the proof
+// rests on: Σ_x I_x = |I| = 2|D*| and Σ_x x·I_x = 2|D|, and that no edge
+// joins two external nodes (which would contradict the maximality of D*).
+func Account(g *graph.Graph, d, dstar *graph.EdgeSet) (*Accounting, error) {
+	if !IsMaximalMatching(g, dstar) {
+		return nil, fmt.Errorf("verify: D* is not a maximal matching")
+	}
+	a := &Accounting{
+		Internal:   graph.CoveredNodes(g, dstar),
+		DoubleCost: make([]int, g.N()),
+		SizeD:      d.Count(),
+		SizeDstar:  dstar.Count(),
+	}
+	for _, e := range g.Edges() {
+		if !a.Internal[e.A.Node] && !a.Internal[e.B.Node] {
+			return nil, fmt.Errorf("verify: edge %v joins two external nodes; D* not maximal", e)
+		}
+	}
+	var err error
+	d.ForEach(func(idx int) bool {
+		e := g.Edge(idx)
+		u, v := e.A.Node, e.B.Node
+		switch {
+		case u == v:
+			err = fmt.Errorf("verify: accounting does not support loops (edge %v)", e)
+			return false
+		case a.Internal[u] && a.Internal[v]:
+			a.DoubleCost[u]++
+			a.DoubleCost[v]++
+		case a.Internal[u]:
+			a.DoubleCost[u] += 2
+		default:
+			a.DoubleCost[v] += 2
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	internalCount := 0
+	for v := 0; v < g.N(); v++ {
+		if !a.Internal[v] {
+			continue
+		}
+		internalCount++
+		dc := a.DoubleCost[v]
+		if dc < 0 || dc > 4 {
+			return nil, fmt.Errorf("verify: node %d has 2c(v) = %d outside {0..4}; D is not a valid union of a matching and a 2-matching", v, dc)
+		}
+		a.I[dc]++
+	}
+	if internalCount != 2*a.SizeDstar {
+		return nil, fmt.Errorf("verify: |I| = %d, want 2|D*| = %d", internalCount, 2*a.SizeDstar)
+	}
+	sum := 0
+	for x, c := range a.I {
+		sum += x * c
+	}
+	if sum != 2*a.SizeD {
+		return nil, fmt.Errorf("verify: Σ x·I_x = %d, want 2|D| = %d", sum, 2*a.SizeD)
+	}
+	return a, nil
+}
+
+// CheckTheorem5Inequality verifies the double-counting conclusion of
+// Section 7.7 for maximum degree parameter delta (odd, = 2k+1):
+//
+//	2·I₄ ≤ (Δ-3)·I₃ + (2Δ-4)·I₂ + (2Δ-2)·I₁ + (2Δ-2)·I₀.
+//
+// The inequality is what forces the approximation ratio 4 - 1/k; it must
+// hold for every output of A(Δ) against every maximal matching D*.
+func (a *Accounting) CheckTheorem5Inequality(delta int) error {
+	if delta < 3 {
+		return fmt.Errorf("verify: inequality needs Δ >= 3, got %d", delta)
+	}
+	lhs := 2 * a.I[4]
+	rhs := (delta-3)*a.I[3] + (2*delta-4)*a.I[2] + (2*delta-2)*a.I[1] + (2*delta-2)*a.I[0]
+	if lhs > rhs {
+		return fmt.Errorf("verify: Theorem 5 inequality violated: 2·I₄ = %d > %d (I = %v, Δ = %d)",
+			lhs, rhs, a.I, delta)
+	}
+	return nil
+}

@@ -1,0 +1,171 @@
+package verify
+
+import (
+	"fmt"
+
+	"eds/internal/graph"
+)
+
+// MaximumMatching returns a maximum-cardinality matching of g, computed
+// with Edmonds' blossom-shrinking algorithm (O(V³)). Unlike the
+// branch-and-bound solvers in this package it is polynomial, so it
+// scales to the large instances used in the studies, where ν(G)/2 is a
+// lower bound on the minimum maximal matching and hence on the minimum
+// edge dominating set. Loops are ignored; parallel edges are harmless.
+func MaximumMatching(g *graph.Graph) *graph.EdgeSet {
+	n := g.N()
+	adj := make([][]int, n)
+	for v := 0; v < n; v++ {
+		for i := 1; i <= g.Deg(v); i++ {
+			u := g.Neighbour(v, i)
+			if u != v {
+				adj[v] = append(adj[v], u)
+			}
+		}
+	}
+	match := blossomMatch(n, adj)
+	s := graph.NewEdgeSet(g.M())
+	for v := 0; v < n; v++ {
+		u := match[v]
+		if u > v {
+			s.Add(g.EdgeAt(v, g.PortBetween(v, u)))
+		}
+	}
+	return s
+}
+
+// blossomMatch is the standard array-based Edmonds implementation: grow
+// alternating trees from free vertices, shrink odd cycles (blossoms) to
+// their base, and augment when a free vertex is reached.
+func blossomMatch(n int, adj [][]int) []int {
+	match := make([]int, n)
+	p := make([]int, n)    // alternating-tree parent of even vertices
+	base := make([]int, n) // blossom base of each vertex
+	used := make([]bool, n)
+	blossom := make([]bool, n)
+	for i := range match {
+		match[i] = -1
+	}
+	queue := make([]int, 0, n)
+
+	lca := func(a, b int) int {
+		usedPath := make([]bool, n)
+		for {
+			a = base[a]
+			usedPath[a] = true
+			if match[a] == -1 {
+				break
+			}
+			a = p[match[a]]
+		}
+		for {
+			b = base[b]
+			if usedPath[b] {
+				return b
+			}
+			b = p[match[b]]
+		}
+	}
+
+	markPath := func(v, b, child int) {
+		for base[v] != b {
+			blossom[base[v]] = true
+			blossom[base[match[v]]] = true
+			p[v] = child
+			child = match[v]
+			v = p[match[v]]
+		}
+	}
+
+	findPath := func(root int) bool {
+		for i := 0; i < n; i++ {
+			used[i] = false
+			p[i] = -1
+			base[i] = i
+		}
+		used[root] = true
+		queue = queue[:0]
+		queue = append(queue, root)
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, to := range adj[v] {
+				if base[v] == base[to] || match[v] == to {
+					continue
+				}
+				if to == root || (match[to] != -1 && p[match[to]] != -1) {
+					// Odd cycle: shrink the blossom rooted at the LCA.
+					curBase := lca(v, to)
+					for i := range blossom {
+						blossom[i] = false
+					}
+					markPath(v, curBase, to)
+					markPath(to, curBase, v)
+					for i := 0; i < n; i++ {
+						if blossom[base[i]] {
+							base[i] = curBase
+							if !used[i] {
+								used[i] = true
+								queue = append(queue, i)
+							}
+						}
+					}
+				} else if p[to] == -1 {
+					p[to] = v
+					if match[to] == -1 {
+						// Augment along the alternating path to the root.
+						u := to
+						for u != -1 {
+							pv := p[u]
+							ppv := match[pv]
+							match[u] = pv
+							match[pv] = u
+							u = ppv
+						}
+						return true
+					}
+					used[match[to]] = true
+					queue = append(queue, match[to])
+				}
+			}
+		}
+		return false
+	}
+
+	for v := 0; v < n; v++ {
+		if match[v] == -1 {
+			findPath(v)
+		}
+	}
+	return match
+}
+
+// MinimumEdgeCover returns a minimum-size edge cover via Gallai's
+// identity: take a maximum matching and cover each exposed node with an
+// arbitrary incident edge, giving |C| = n - ν(G). It fails if g has an
+// isolated node (no edge cover exists then).
+func MinimumEdgeCover(g *graph.Graph) (*graph.EdgeSet, error) {
+	c := MaximumMatching(g)
+	covered := graph.CoveredNodes(g, c)
+	for v := 0; v < g.N(); v++ {
+		if covered[v] {
+			continue
+		}
+		if g.Deg(v) == 0 {
+			return nil, fmt.Errorf("verify: node %d is isolated; no edge cover exists", v)
+		}
+		added := false
+		for i := 1; i <= g.Deg(v); i++ {
+			if g.Neighbour(v, i) != v {
+				c.Add(g.EdgeAt(v, i))
+				added = true
+				break
+			}
+		}
+		if !added {
+			return nil, fmt.Errorf("verify: node %d has only loops; no edge cover exists", v)
+		}
+		covered[v] = true
+	}
+	return c, nil
+}

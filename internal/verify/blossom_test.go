@@ -1,0 +1,147 @@
+package verify
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"eds/internal/gen"
+	"eds/internal/graph"
+)
+
+// bruteMaxMatching computes the maximum matching size by exhaustive
+// recursion; only for tiny graphs.
+func bruteMaxMatching(g *graph.Graph) int {
+	matched := make([]bool, g.N())
+	var rec func(idx int) int
+	rec = func(idx int) int {
+		if idx == g.M() {
+			return 0
+		}
+		best := rec(idx + 1)
+		e := g.Edge(idx)
+		if !e.IsLoop() && !matched[e.A.Node] && !matched[e.B.Node] {
+			matched[e.A.Node] = true
+			matched[e.B.Node] = true
+			if v := 1 + rec(idx+1); v > best {
+				best = v
+			}
+			matched[e.A.Node] = false
+			matched[e.B.Node] = false
+		}
+		return best
+	}
+	return rec(0)
+}
+
+func TestMaximumMatchingKnownValues(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *graph.Graph
+		want int
+	}{
+		{"P2", gen.Path(2), 1},
+		{"P5", gen.Path(5), 2},
+		{"C5", gen.Cycle(5), 2},
+		{"C6", gen.Cycle(6), 3},
+		{"K4", gen.Complete(4), 2},
+		{"K5", gen.Complete(5), 2},
+		{"K7", gen.Complete(7), 3},
+		{"Petersen", gen.Petersen(), 5}, // has a perfect matching
+		{"Star6", gen.Star(6), 1},
+		{"K34", gen.CompleteBipartite(3, 4), 3},
+		{"two triangles", graph.MustFromUndirected(6,
+			[][2]int{{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}}), 2},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			m := MaximumMatching(tc.g)
+			if !IsMatching(tc.g, m) {
+				t.Fatal("result is not a matching")
+			}
+			if got := m.Count(); got != tc.want {
+				t.Errorf("ν = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestMaximumMatchingAgainstBruteForceQuick(t *testing.T) {
+	// Blossoms matter exactly on odd structures; random graphs with
+	// triangles and odd cycles exercise the shrinking logic.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.RandomBoundedDegree(rng, 4+rng.Intn(7), 1+rng.Intn(5), 0.6)
+		if g.M() > 16 {
+			return true // keep brute force tractable
+		}
+		m := MaximumMatching(g)
+		if !IsMatching(g, m) {
+			return false
+		}
+		return m.Count() == bruteMaxMatching(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatchingSandwichQuick(t *testing.T) {
+	// ν/2 <= minimum maximal matching <= ν, and every maximal matching
+	// sits between the minimum maximal matching and ν.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.RandomBoundedDegree(rng, 4+rng.Intn(8), 1+rng.Intn(4), 0.5)
+		nu := MaximumMatching(g).Count()
+		mmm := MinimumMaximalMatching(g).Count()
+		greedy := GreedyMaximalMatching(g).Count()
+		return 2*mmm >= nu && mmm <= nu && mmm <= greedy && greedy <= nu
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinimumEdgeCoverGallaiQuick(t *testing.T) {
+	// Gallai: for a graph without isolated nodes, the minimum edge cover
+	// has exactly n - ν edges.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(10)
+		// A random tree plus extra edges has no isolated nodes.
+		g := gen.RandomTree(rng, n)
+		c, err := MinimumEdgeCover(g)
+		if err != nil {
+			return false
+		}
+		if !IsEdgeCover(g, c) {
+			return false
+		}
+		nu := MaximumMatching(g).Count()
+		return c.Count() == g.N()-nu
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinimumEdgeCoverRejectsIsolated(t *testing.T) {
+	g := graph.MustFromUndirected(3, [][2]int{{0, 1}})
+	if _, err := MinimumEdgeCover(g); err == nil {
+		t.Error("isolated node accepted")
+	}
+}
+
+func TestMaximumMatchingOnLargeRegular(t *testing.T) {
+	// Polynomial scaling sanity: a 3-regular graph on 200 nodes has a
+	// (near-)perfect matching; ν >= n/2 - o(n) and the result is valid.
+	rng := rand.New(rand.NewSource(8))
+	g := gen.MustRandomRegular(rng, 200, 3)
+	m := MaximumMatching(g)
+	if !IsMatching(g, m) {
+		t.Fatal("not a matching")
+	}
+	if m.Count() < 95 {
+		t.Errorf("ν = %d suspiciously small for a 200-node 3-regular graph", m.Count())
+	}
+}

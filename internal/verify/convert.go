@@ -1,0 +1,42 @@
+package verify
+
+import (
+	"fmt"
+
+	"eds/internal/graph"
+)
+
+// MaximalMatchingFromEDS converts an edge dominating set D into a maximal
+// matching M with |M| <= |D| (Yannakakis and Gavril 1980; Section 1.1 of
+// the paper). The construction first takes a greedy maximal matching
+// inside D, then greedily extends it to a maximal matching of G. Every
+// extension edge e can be charged to a distinct edge of D \ M: e is
+// dominated by some f ∈ D sharing an endpoint u with e, and f's other
+// endpoint is matched (else the first pass would have taken f), so f
+// never becomes an extension edge itself and no other extension edge can
+// reuse it.
+//
+// It returns an error if d is not an edge dominating set.
+func MaximalMatchingFromEDS(g *graph.Graph, d *graph.EdgeSet) (*graph.EdgeSet, error) {
+	if !IsEdgeDominatingSet(g, d) {
+		return nil, fmt.Errorf("verify: input set is not an edge dominating set")
+	}
+	matched := make([]bool, g.N())
+	m := graph.NewEdgeSet(g.M())
+	add := func(idx int) {
+		e := g.Edge(idx)
+		if !e.IsLoop() && !matched[e.A.Node] && !matched[e.B.Node] {
+			m.Add(idx)
+			matched[e.A.Node] = true
+			matched[e.B.Node] = true
+		}
+	}
+	d.ForEach(func(idx int) bool {
+		add(idx)
+		return true
+	})
+	for idx := 0; idx < g.M(); idx++ {
+		add(idx)
+	}
+	return m, nil
+}

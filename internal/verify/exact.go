@@ -1,0 +1,245 @@
+package verify
+
+import (
+	"eds/internal/graph"
+)
+
+// Exact exponential solvers for small instances. Both the minimum
+// maximal matching and the minimum edge dominating set problems are
+// NP-hard (Yannakakis and Gavril 1980); these branch-and-bound searches
+// are meant for the instance sizes used in tests and experiment baselines
+// (tens of edges), where they are fast.
+
+// MinimumMaximalMatching returns a maximal matching of minimum size. By
+// Yannakakis–Gavril it is also a minimum edge dominating set.
+//
+// Branching: pick an edge e = {u,v} with both endpoints unmatched; every
+// maximal matching must match u or v, so branch on all edges incident to
+// u or v whose endpoints are both unmatched.
+func MinimumMaximalMatching(g *graph.Graph) *graph.EdgeSet {
+	s := &mmSolver{
+		g:       g,
+		matched: make([]bool, g.N()),
+		current: graph.NewEdgeSet(g.M()),
+		best:    allEdgeSet(g),
+	}
+	s.bestSize = s.best.Count()
+	s.maxDominated = 2*g.MaxDegree() - 1
+	if s.maxDominated < 1 {
+		s.maxDominated = 1
+	}
+	s.search(0)
+	return s.best
+}
+
+type mmSolver struct {
+	g            *graph.Graph
+	matched      []bool
+	current      *graph.EdgeSet
+	currentSize  int
+	best         *graph.EdgeSet
+	bestSize     int
+	maxDominated int
+}
+
+// undominatedFrom returns the smallest edge index >= from whose endpoints
+// are both unmatched, or -1.
+func (s *mmSolver) undominatedFrom(from int) int {
+	for idx := from; idx < s.g.M(); idx++ {
+		e := s.g.Edge(idx)
+		if !s.matched[e.A.Node] && !s.matched[e.B.Node] {
+			return idx
+		}
+	}
+	return -1
+}
+
+func (s *mmSolver) countUndominated() int {
+	c := 0
+	for idx := 0; idx < s.g.M(); idx++ {
+		e := s.g.Edge(idx)
+		if !s.matched[e.A.Node] && !s.matched[e.B.Node] {
+			c++
+		}
+	}
+	return c
+}
+
+func (s *mmSolver) search(from int) {
+	pivot := s.undominatedFrom(from)
+	if pivot == -1 {
+		if s.currentSize < s.bestSize {
+			s.best = s.current.Clone()
+			s.bestSize = s.currentSize
+		}
+		return
+	}
+	// Lower bound: each matching edge dominates at most 2Δ-1 edges.
+	undom := s.countUndominated()
+	lb := s.currentSize + (undom+s.maxDominated-1)/s.maxDominated
+	if lb >= s.bestSize {
+		return
+	}
+	e := s.g.Edge(pivot)
+	for _, f := range s.candidates(e) {
+		fe := s.g.Edge(f)
+		s.current.Add(f)
+		s.currentSize++
+		s.matched[fe.A.Node] = true
+		s.matched[fe.B.Node] = true
+		// Dominated edges only grow, so the next pivot scan may resume
+		// from the current pivot.
+		s.search(pivot)
+		s.matched[fe.A.Node] = false
+		s.matched[fe.B.Node] = false
+		s.current.Remove(f)
+		s.currentSize--
+	}
+}
+
+// candidates lists the edges incident to e's endpoints whose own
+// endpoints are both unmatched, deduplicated.
+func (s *mmSolver) candidates(e graph.Edge) []int {
+	seen := make(map[int]bool)
+	var out []int
+	for _, v := range []int{e.A.Node, e.B.Node} {
+		for _, idx := range s.g.IncidentEdges(v) {
+			if seen[idx] {
+				continue
+			}
+			seen[idx] = true
+			f := s.g.Edge(idx)
+			if f.IsLoop() {
+				continue // a loop cannot be in a matching
+			}
+			if !s.matched[f.A.Node] && !s.matched[f.B.Node] {
+				out = append(out, idx)
+			}
+		}
+	}
+	return out
+}
+
+// MinimumEdgeDominatingSet returns a minimum-size edge dominating set by
+// direct branch and bound (without the matching restriction). Its size
+// always equals MinimumMaximalMatching's; keeping both makes that classic
+// equivalence an executable test.
+func MinimumEdgeDominatingSet(g *graph.Graph) *graph.EdgeSet {
+	s := &edsSolver{
+		g:          g,
+		coverCount: make([]int, g.N()),
+		current:    graph.NewEdgeSet(g.M()),
+		best:       allEdgeSet(g),
+	}
+	s.bestSize = s.best.Count()
+	s.maxDominated = 2*g.MaxDegree() - 1
+	if s.maxDominated < 1 {
+		s.maxDominated = 1
+	}
+	s.search(0)
+	return s.best
+}
+
+type edsSolver struct {
+	g            *graph.Graph
+	coverCount   []int // number of chosen edges covering each node
+	current      *graph.EdgeSet
+	currentSize  int
+	best         *graph.EdgeSet
+	bestSize     int
+	maxDominated int
+}
+
+func (s *edsSolver) dominated(idx int) bool {
+	e := s.g.Edge(idx)
+	return s.current.Has(idx) || s.coverCount[e.A.Node] > 0 || s.coverCount[e.B.Node] > 0
+}
+
+func (s *edsSolver) undominatedFrom(from int) int {
+	for idx := from; idx < s.g.M(); idx++ {
+		if !s.dominated(idx) {
+			return idx
+		}
+	}
+	return -1
+}
+
+func (s *edsSolver) countUndominated() int {
+	c := 0
+	for idx := 0; idx < s.g.M(); idx++ {
+		if !s.dominated(idx) {
+			c++
+		}
+	}
+	return c
+}
+
+func (s *edsSolver) search(from int) {
+	pivot := s.undominatedFrom(from)
+	if pivot == -1 {
+		if s.currentSize < s.bestSize {
+			s.best = s.current.Clone()
+			s.bestSize = s.currentSize
+		}
+		return
+	}
+	undom := s.countUndominated()
+	lb := s.currentSize + (undom+s.maxDominated-1)/s.maxDominated
+	if lb >= s.bestSize {
+		return
+	}
+	e := s.g.Edge(pivot)
+	seen := make(map[int]bool)
+	for _, v := range []int{e.A.Node, e.B.Node} {
+		for _, idx := range s.g.IncidentEdges(v) {
+			if seen[idx] || s.current.Has(idx) {
+				continue
+			}
+			seen[idx] = true
+			f := s.g.Edge(idx)
+			s.current.Add(idx)
+			s.currentSize++
+			s.coverCount[f.A.Node]++
+			if f.A != f.B {
+				s.coverCount[f.B.Node]++
+			}
+			s.search(pivot)
+			s.coverCount[f.A.Node]--
+			if f.A != f.B {
+				s.coverCount[f.B.Node]--
+			}
+			s.current.Remove(idx)
+			s.currentSize--
+		}
+	}
+}
+
+// GreedyMaximalMatching scans the edges in canonical index order and
+// keeps every edge whose endpoints are still unmatched. The result is a
+// maximal matching and hence a 2-approximation of the minimum edge
+// dominating set (Section 1.2).
+func GreedyMaximalMatching(g *graph.Graph) *graph.EdgeSet {
+	matched := make([]bool, g.N())
+	s := graph.NewEdgeSet(g.M())
+	for idx, e := range g.Edges() {
+		if e.IsLoop() {
+			continue
+		}
+		if !matched[e.A.Node] && !matched[e.B.Node] {
+			s.Add(idx)
+			matched[e.A.Node] = true
+			matched[e.B.Node] = true
+		}
+	}
+	return s
+}
+
+// allEdgeSet returns the full edge set (always an EDS, the trivial upper
+// bound used to seed the branch-and-bound searches).
+func allEdgeSet(g *graph.Graph) *graph.EdgeSet {
+	s := graph.NewEdgeSet(g.M())
+	for idx := 0; idx < g.M(); idx++ {
+		s.Add(idx)
+	}
+	return s
+}

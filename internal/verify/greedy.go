@@ -1,0 +1,62 @@
+package verify
+
+import (
+	"eds/internal/graph"
+)
+
+// GreedyEDS is the classic centralized greedy heuristic for edge
+// dominating sets: repeatedly select the edge that dominates the largest
+// number of still-undominated edges. It carries only a logarithmic
+// worst-case guarantee (it is a set-cover greedy), but on typical
+// instances it is strong; the studies use it as a quality yardstick for
+// the distributed algorithms, which must operate without any global
+// view.
+func GreedyEDS(g *graph.Graph) *graph.EdgeSet {
+	m := g.M()
+	s := graph.NewEdgeSet(m)
+	dominated := make([]bool, m)
+	remaining := m
+	// gain(e) = number of undominated edges adjacent to e (including e);
+	// a dominated edge can still be worth selecting for its neighbours.
+	gain := func(idx int) int {
+		e := g.Edge(idx)
+		seen := map[int]bool{}
+		count := 0
+		for _, v := range []int{e.A.Node, e.B.Node} {
+			for _, adj := range g.IncidentEdges(v) {
+				if !seen[adj] {
+					seen[adj] = true
+					if !dominated[adj] {
+						count++
+					}
+				}
+			}
+		}
+		return count
+	}
+	for remaining > 0 {
+		best, bestGain := -1, 0
+		for idx := 0; idx < m; idx++ {
+			if s.Has(idx) {
+				continue
+			}
+			if gn := gain(idx); gn > bestGain {
+				best, bestGain = idx, gn
+			}
+		}
+		if best == -1 {
+			break // only isolated undominated edges remain: impossible
+		}
+		s.Add(best)
+		e := g.Edge(best)
+		for _, v := range []int{e.A.Node, e.B.Node} {
+			for _, adj := range g.IncidentEdges(v) {
+				if !dominated[adj] {
+					dominated[adj] = true
+					remaining--
+				}
+			}
+		}
+	}
+	return s
+}

@@ -1,0 +1,58 @@
+package verify
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"eds/internal/gen"
+)
+
+func TestGreedyEDSKnownValues(t *testing.T) {
+	// On a star, greedy picks one edge; on P4, the middle edge.
+	if got := GreedyEDS(gen.Star(7)).Count(); got != 1 {
+		t.Errorf("star: %d edges, want 1", got)
+	}
+	if got := GreedyEDS(gen.Path(4)).Count(); got != 1 {
+		t.Errorf("P4: %d edges, want 1", got)
+	}
+}
+
+func TestGreedyEDSFeasibleQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.RandomBoundedDegree(rng, 4+rng.Intn(14), 1+rng.Intn(5), 0.5)
+		s := GreedyEDS(g)
+		if !IsEdgeDominatingSet(g, s) {
+			return false
+		}
+		// Greedy is never worse than selecting everything and never
+		// smaller than the optimum.
+		if g.M() <= 30 {
+			opt := MinimumEdgeDominatingSet(g).Count()
+			if s.Count() < opt {
+				return false
+			}
+		}
+		return s.Count() <= g.M()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGreedyEDSOftenBeatsMaximalMatching(t *testing.T) {
+	// Not a theorem — just the yardstick property the studies rely on:
+	// over a batch of random graphs, greedy's total is no worse than the
+	// greedy maximal matching's total.
+	rng := rand.New(rand.NewSource(17))
+	sumGreedy, sumMM := 0, 0
+	for i := 0; i < 30; i++ {
+		g := gen.RandomBoundedDegree(rng, 20, 4, 0.4)
+		sumGreedy += GreedyEDS(g).Count()
+		sumMM += GreedyMaximalMatching(g).Count()
+	}
+	if sumGreedy > sumMM {
+		t.Errorf("greedy EDS total %d worse than maximal matching total %d", sumGreedy, sumMM)
+	}
+}

@@ -1,0 +1,90 @@
+package verify
+
+import (
+	"eds/internal/graph"
+)
+
+// IsVertexCover reports whether the flagged node set covers every edge
+// of g (loops require their node to be in the cover).
+func IsVertexCover(g *graph.Graph, cover []bool) bool {
+	for _, e := range g.Edges() {
+		if !cover[e.A.Node] && !cover[e.B.Node] {
+			return false
+		}
+	}
+	return true
+}
+
+// MinimumVertexCover returns a minimum vertex cover by branch and bound:
+// for an uncovered edge {u,v}, any cover contains u or v. Exponential;
+// small instances only. The matching lower bound prunes the search.
+func MinimumVertexCover(g *graph.Graph) []bool {
+	s := &vcSolver{g: g, in: make([]bool, g.N()), best: make([]bool, g.N())}
+	for v := range s.best {
+		s.best[v] = true // the full node set always covers
+	}
+	s.bestSize = g.N()
+	s.search(0, 0)
+	return s.best
+}
+
+type vcSolver struct {
+	g        *graph.Graph
+	in       []bool
+	best     []bool
+	bestSize int
+}
+
+// uncoveredFrom returns the smallest edge index >= from not covered by
+// the current node set, or -1.
+func (s *vcSolver) uncoveredFrom(from int) int {
+	for idx := from; idx < s.g.M(); idx++ {
+		e := s.g.Edge(idx)
+		if !s.in[e.A.Node] && !s.in[e.B.Node] {
+			return idx
+		}
+	}
+	return -1
+}
+
+// matchingLB greedily builds a matching among uncovered edges; each of
+// its edges needs its own cover node.
+func (s *vcSolver) matchingLB() int {
+	used := make([]bool, s.g.N())
+	lb := 0
+	for idx := 0; idx < s.g.M(); idx++ {
+		e := s.g.Edge(idx)
+		if e.IsLoop() || s.in[e.A.Node] || s.in[e.B.Node] {
+			continue
+		}
+		if !used[e.A.Node] && !used[e.B.Node] {
+			used[e.A.Node] = true
+			used[e.B.Node] = true
+			lb++
+		}
+	}
+	return lb
+}
+
+func (s *vcSolver) search(from, size int) {
+	pivot := s.uncoveredFrom(from)
+	if pivot == -1 {
+		if size < s.bestSize {
+			copy(s.best, s.in)
+			s.bestSize = size
+		}
+		return
+	}
+	if size+s.matchingLB() >= s.bestSize {
+		return
+	}
+	e := s.g.Edge(pivot)
+	for _, v := range []int{e.A.Node, e.B.Node} {
+		s.in[v] = true
+		s.search(pivot, size+1)
+		s.in[v] = false
+		if e.IsLoop() {
+			break // both branches identical
+		}
+	}
+}
