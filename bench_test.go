@@ -182,6 +182,80 @@ func BenchmarkEngines(b *testing.B) {
 	})
 }
 
+// BenchmarkSharded compares all three engines on large instances of the
+// classic families — the workload class the sharded flat-buffer engine
+// exists for — and then pushes the sharded engine alone to a million
+// nodes. Per-iteration graph construction is excluded from the timing.
+// The million-node cases are skipped under -short so CI smoke passes
+// stay quick.
+func BenchmarkSharded(b *testing.B) {
+	engines := []struct {
+		name string
+		run  func(*graph.Graph, sim.Algorithm, ...sim.Option) (*sim.Result, error)
+	}{
+		{"sequential", sim.RunSequential},
+		{"concurrent", sim.RunConcurrent},
+		{"sharded", sim.RunSharded},
+	}
+	families := []struct {
+		name  string
+		build func() *graph.Graph
+		alg   sim.Algorithm
+	}{
+		{"Cycle/n=100k", func() *graph.Graph { return gen.Cycle(100_000) }, core.PortOne{}},
+		{"Torus/316x316", func() *graph.Graph { return gen.Torus(316, 316) }, core.PortOne{}},
+		{"RandomRegular/n=100k,d=3", func() *graph.Graph {
+			return gen.MustRandomRegular(rand.New(rand.NewSource(17)), 100_000, 3)
+		}, core.RegularOdd{}},
+	}
+	for _, f := range families {
+		g := f.build()
+		g.RoutingTable() // build the flat view outside the timing
+		for _, e := range engines {
+			b.Run(f.name+"/"+e.name, func(b *testing.B) {
+				b.ResetTimer()
+				var rounds int
+				for i := 0; i < b.N; i++ {
+					res, err := e.run(g, f.alg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					rounds = res.Rounds
+				}
+				b.ReportMetric(float64(rounds), "rounds")
+				b.ReportMetric(float64(g.N()), "nodes")
+			})
+		}
+	}
+	million := []struct {
+		name  string
+		build func() *graph.Graph
+		alg   sim.Algorithm
+	}{
+		{"Cycle/n=1M", func() *graph.Graph { return gen.Cycle(1_000_000) }, core.PortOne{}},
+		{"Torus/1000x1000", func() *graph.Graph { return gen.Torus(1000, 1000) }, core.PortOne{}},
+		{"RandomRegular/n=1M,d=3", func() *graph.Graph {
+			return gen.MustRandomRegular(rand.New(rand.NewSource(23)), 1_000_000, 3)
+		}, core.RegularOdd{}},
+	}
+	for _, f := range million {
+		b.Run("Million/"+f.name+"/sharded", func(b *testing.B) {
+			if testing.Short() {
+				b.Skip("million-node benchmark skipped in -short mode")
+			}
+			g := f.build()
+			g.RoutingTable()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.RunSharded(g, f.alg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(g.N()), "nodes")
+		})
+	}
+}
+
 // BenchmarkExactSolvers tracks the branch-and-bound baselines used to
 // compute the optima in the studies.
 func BenchmarkExactSolvers(b *testing.B) {

@@ -6,7 +6,13 @@
 //
 //	edsrun -graph cycle:12 -alg auto
 //	edsrun -graph regular:n=20,d=3 -alg regularodd -engine concurrent
+//	edsrun -graph regular:n=100000,d=3 -alg regularodd -engine sharded -shards 8
 //	edsrun -graph evenlb:d=6 -alg portone -dot out.dot
+//
+// Engines: sequential (reference), concurrent (goroutine per node),
+// sharded (flat-buffer engine, one worker per CPU by default), auto
+// (sharded above 4096 nodes, sequential below). All engines produce
+// identical results.
 //
 // Graphs: cycle:N, path:N, complete:N, hypercube:DIM, torus:RxC,
 // petersen, matching:K, regular:n=N,d=D, bounded:n=N,delta=D,
@@ -30,11 +36,12 @@ func main() {
 	log.SetPrefix("edsrun: ")
 	graphSpec := flag.String("graph", "cycle:12", "graph specification (see -help)")
 	algSpec := flag.String("alg", "auto", "algorithm: auto|portone|regularodd|regularodd-nopruning|general[:D]|alledges")
-	engine := flag.String("engine", "sequential", "engine: sequential|concurrent")
+	engine := flag.String("engine", "sequential", "engine: sequential|concurrent|sharded|auto")
+	shards := flag.Int("shards", 0, "worker shards for the sharded engine (0 = one per CPU)")
 	seed := flag.Int64("seed", 1, "seed for random graph families")
 	dotOut := flag.String("dot", "", "write a DOT rendering with the output highlighted")
 	exact := flag.Bool("exact", false, "also compute the exact optimum (exponential; small graphs only)")
-	profile := flag.Bool("profile", false, "print the per-message-type communication profile (sequential engine only)")
+	profile := flag.Bool("profile", false, "print the per-message-type communication profile (sequential and auto engines)")
 	flag.Parse()
 
 	g, opt, err := parseGraph(*graphSpec, *seed)
@@ -48,17 +55,25 @@ func main() {
 
 	var res *sim.Result
 	var trace *sim.Trace
-	switch *engine {
-	case "sequential":
-		var opts []sim.Option
-		if *profile {
-			var traceOpt sim.Option
-			trace, traceOpt = sim.NewTrace()
-			opts = append(opts, traceOpt)
+	traceOpts := func() []sim.Option {
+		if !*profile {
+			return nil
 		}
-		res, err = sim.RunSequential(g, alg, opts...)
+		var traceOpt sim.Option
+		trace, traceOpt = sim.NewTrace()
+		return []sim.Option{traceOpt}
+	}
+	switch *engine {
+	case "auto":
+		// RunAuto routes hooked runs to the sequential engine, so
+		// -profile keeps working whatever the graph size.
+		res, err = sim.RunAuto(g, alg, append(traceOpts(), sim.WithShards(*shards))...)
+	case "sequential":
+		res, err = sim.RunSequential(g, alg, traceOpts()...)
 	case "concurrent":
 		res, err = sim.RunConcurrent(g, alg)
+	case "sharded":
+		res, err = sim.RunSharded(g, alg, sim.WithShards(*shards))
 	default:
 		log.Fatalf("unknown engine %q", *engine)
 	}

@@ -11,8 +11,13 @@
 //     generate classic and random families via the helpers below;
 //   - pick an algorithm with PortOne, RegularOdd, General, or let
 //     ForGraph choose the one with the optimal guarantee for your graph;
-//   - execute with Run (deterministic sequential engine) or
-//     RunConcurrent (goroutine-per-node, channel message passing);
+//   - execute with Run (deterministic sequential reference engine),
+//     RunConcurrent (goroutine-per-node, channel message passing — the
+//     literal embedding of the model), RunSharded (flat-buffer engine
+//     sharded across the CPUs — the fast path for large graphs), or
+//     RunAuto (picks an engine by graph size). All engines return
+//     identical results on every input; internal/sim's cross-engine
+//     equivalence suite enforces it;
 //   - check feasibility and quality with IsEdgeDominatingSet,
 //     MinimumEdgeDominatingSet, and TightRatio.
 //
@@ -143,7 +148,28 @@ func Run(g *Graph, a Algorithm) (*EdgeSet, *Result, error) {
 // capacity-1 channels carrying the messages, then returns the selected
 // edge set. The result is always identical to Run's.
 func RunConcurrent(g *Graph, a Algorithm) (*EdgeSet, *Result, error) {
-	res, err := sim.RunConcurrent(g, a)
+	return runWith(sim.RunConcurrent, g, a)
+}
+
+// RunSharded executes the algorithm on the sharded flat-buffer engine:
+// nodes are partitioned across the CPUs and messages travel through a
+// precomputed flat routing table with no channels and no per-round
+// allocation. The result is always identical to Run's; on large graphs
+// this is by far the fastest engine.
+func RunSharded(g *Graph, a Algorithm) (*EdgeSet, *Result, error) {
+	return runWith(sim.RunSharded, g, a)
+}
+
+// RunAuto picks an engine by graph size — the sequential reference at or
+// below sim.AutoShardedThreshold nodes, the sharded engine above it —
+// and returns the selected edge set. Every engine returns identical
+// results, so the choice affects only the wall-clock time.
+func RunAuto(g *Graph, a Algorithm) (*EdgeSet, *Result, error) {
+	return runWith(sim.RunAuto, g, a)
+}
+
+func runWith(run func(*graph.Graph, sim.Algorithm, ...sim.Option) (*sim.Result, error), g *Graph, a Algorithm) (*EdgeSet, *Result, error) {
+	res, err := run(g, a)
 	if err != nil {
 		return nil, nil, err
 	}

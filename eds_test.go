@@ -86,6 +86,20 @@ func TestEnginesAgreeViaFacade(t *testing.T) {
 	if !d1.Equal(d2) {
 		t.Error("sequential and concurrent engines disagree")
 	}
+	d3, _, err := eds.RunSharded(g, alg)
+	if err != nil {
+		t.Fatalf("RunSharded: %v", err)
+	}
+	if !d1.Equal(d3) {
+		t.Error("sequential and sharded engines disagree")
+	}
+	d4, _, err := eds.RunAuto(g, alg)
+	if err != nil {
+		t.Fatalf("RunAuto: %v", err)
+	}
+	if !d1.Equal(d4) {
+		t.Error("auto-selected engine disagrees with sequential")
+	}
 }
 
 func TestFacadeBaselines(t *testing.T) {

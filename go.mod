@@ -1,0 +1,3 @@
+module eds
+
+go 1.24

@@ -51,6 +51,66 @@ func FuzzBuilder(f *testing.F) {
 	})
 }
 
+// FuzzRoutingTable builds graphs from arbitrary connect sequences and
+// checks that the flat routing view is a self-inverse permutation of the
+// global port space consistent with the involution g.P(v, i).
+func FuzzRoutingTable(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 1, 1, 2, 2, 1})
+	f.Add([]byte{0, 1, 0, 1})             // directed loop
+	f.Add([]byte{0, 1, 0, 2, 1, 1, 1, 2}) // undirected loops
+	f.Add([]byte{2, 1, 3, 1, 3, 2, 4, 1, 4, 2, 2, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const n = 6
+		b := NewBuilder(n)
+		for i := 0; i+3 < len(data); i += 4 {
+			u := int(data[i]) % n
+			pi := 1 + int(data[i+1])%7
+			v := int(data[i+2]) % n
+			pj := 1 + int(data[i+3])%7
+			b.Connect(u, pi, v, pj) // failures leave holes; Build rejects them
+		}
+		g, err := b.Build()
+		if err != nil {
+			return
+		}
+		off := g.PortOffsets()
+		route := g.RoutingTable()
+		total := 0
+		for v := 0; v < g.N(); v++ {
+			if int(off[v]) != total {
+				t.Fatalf("PortOffsets[%d] = %d, want %d", v, off[v], total)
+			}
+			total += g.Deg(v)
+		}
+		if int(off[g.N()]) != total || len(route) != total {
+			t.Fatalf("port space size mismatch: off[n]=%d len(route)=%d want %d", off[g.N()], len(route), total)
+		}
+		seen := make([]bool, total)
+		for j := range route {
+			p := route[j]
+			if p < 0 || int(p) >= total {
+				t.Fatalf("route[%d] = %d out of range [0,%d)", j, p, total)
+			}
+			if route[p] != int32(j) {
+				t.Fatalf("not self-inverse: route[%d]=%d, route[%d]=%d", j, p, p, route[p])
+			}
+			if seen[p] {
+				t.Fatalf("route is not a permutation: %d hit twice", p)
+			}
+			seen[p] = true
+		}
+		for v := 0; v < g.N(); v++ {
+			for i := 1; i <= g.Deg(v); i++ {
+				q := g.P(v, i)
+				if want := off[q.Node] + int32(q.Num-1); route[off[v]+int32(i-1)] != want {
+					t.Fatalf("route for port (%d,%d) disagrees with P: got %d, want %d",
+						v, i, route[off[v]+int32(i-1)], want)
+				}
+			}
+		}
+	})
+}
+
 // FuzzEdgeSetOps checks the bitset against a map-based model.
 func FuzzEdgeSetOps(f *testing.F) {
 	f.Add([]byte{1, 0, 2, 1, 1, 63, 0, 64})

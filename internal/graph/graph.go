@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Port identifies one port of one node. Node is the 0-based node index and
@@ -89,6 +90,11 @@ type Graph struct {
 	conn   [][]Port // conn[v][i-1] = p(v, i)
 	edges  []Edge   // canonical edge list, sorted by Edge.A
 	edgeAt [][]int  // edgeAt[v][i-1] = index into edges for the edge at (v, i)
+
+	// Lazily built flat routing view (see routing.go).
+	routeOnce sync.Once
+	portOff   []int32 // portOff[v] = global index of port (v, 1); len N()+1
+	route     []int32 // route[j] = global index of the partner of port j
 }
 
 // N returns the number of nodes.

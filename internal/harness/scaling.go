@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"strings"
+	"time"
 
 	"eds/internal/core"
 	"eds/internal/gen"
@@ -43,7 +44,8 @@ func RoundScaling(seed int64, d int, sizes []int) ([]ScalingRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := sim.RunSequential(g, alg)
+		// Any engine returns the same rows; RunAuto picks the fast one.
+		res, err := sim.RunAuto(g, alg)
 		if err != nil {
 			return nil, err
 		}
@@ -57,6 +59,85 @@ func RoundScaling(seed int64, d int, sizes []int) ([]ScalingRow, error) {
 		})
 	}
 	return rows, nil
+}
+
+// EngineRow is one data point of the engine-scaling study: the same
+// workload executed by each simulation engine, with the wall-clock time
+// it took. Rounds and Messages are engine-invariant (the equivalence
+// suite in internal/sim guarantees it), so the study reports them once
+// per row only as a sanity check.
+type EngineRow struct {
+	Engine   string
+	D, N     int
+	Rounds   int
+	Messages int
+	Elapsed  time.Duration
+}
+
+// EngineScaling times every named engine on the same random d-regular
+// graph of each size, verifying along the way that rounds and message
+// counts agree across engines. Engine names: sequential, concurrent,
+// sharded.
+func EngineScaling(seed int64, d int, sizes []int, engines []string) ([]EngineRow, error) {
+	rng := rand.New(rand.NewSource(seed))
+	var alg sim.Algorithm
+	if d%2 == 0 {
+		alg = core.PortOne{}
+	} else {
+		alg = core.RegularOdd{}
+	}
+	var rows []EngineRow
+	for _, n := range sizes {
+		if n*d%2 != 0 {
+			n++
+		}
+		g, err := gen.RandomRegular(rng, n, d)
+		if err != nil {
+			return nil, err
+		}
+		// Build the flat routing view up front so the sharded engine's
+		// row times the rounds, not the one-time CSR construction.
+		g.RoutingTable()
+		var ref *sim.Result
+		for _, name := range engines {
+			run, ok := sim.Engines()[name]
+			if !ok {
+				return nil, fmt.Errorf("harness: unknown engine %q", name)
+			}
+			start := time.Now()
+			res, err := run(g, alg)
+			elapsed := time.Since(start)
+			if err != nil {
+				return nil, fmt.Errorf("harness: engine %s on n=%d: %w", name, n, err)
+			}
+			if ref == nil {
+				ref = res
+			} else if res.Rounds != ref.Rounds || res.Messages != ref.Messages {
+				return nil, fmt.Errorf("harness: engine %s diverges on n=%d: rounds %d/%d, messages %d/%d",
+					name, n, res.Rounds, ref.Rounds, res.Messages, ref.Messages)
+			}
+			rows = append(rows, EngineRow{
+				Engine:   name,
+				D:        d,
+				N:        n,
+				Rounds:   res.Rounds,
+				Messages: res.Messages,
+				Elapsed:  elapsed,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// FormatEngineScaling renders engine rows as an aligned table.
+func FormatEngineScaling(rows []EngineRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-12s %4s %8s %8s %10s %12s\n", "engine", "d", "n", "rounds", "messages", "elapsed")
+	sb.WriteString(strings.Repeat("-", 60) + "\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-12s %4d %8d %8d %10d %12s\n", r.Engine, r.D, r.N, r.Rounds, r.Messages, r.Elapsed)
+	}
+	return sb.String()
 }
 
 // FormatScaling renders scaling rows as an aligned table.

@@ -1,0 +1,241 @@
+// Cross-engine equivalence suite: the paper's algorithms executed on a
+// corpus of port-numbered graph families must produce identical Results
+// from every engine — the sequential reference, the goroutine-per-node
+// channel engine, and the sharded flat-buffer engine — including error
+// cases. This is the contract that lets the fast engine stand in for the
+// reference on large graphs.
+//
+// The file lives in package sim_test because it drives the real
+// algorithms from internal/core, which itself imports sim.
+package sim_test
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"eds/internal/core"
+	"eds/internal/gen"
+	"eds/internal/graph"
+	"eds/internal/sim"
+)
+
+type engine struct {
+	name string
+	run  func(*graph.Graph, sim.Algorithm, ...sim.Option) (*sim.Result, error)
+}
+
+func engines() []engine {
+	return []engine{
+		{"sequential", sim.RunSequential},
+		{"concurrent", sim.RunConcurrent},
+		{"sharded", sim.RunSharded},
+	}
+}
+
+type namedGraph struct {
+	name string
+	g    *graph.Graph
+}
+
+// equivalenceCorpus is the graph corpus of the suite: the deterministic
+// classic families plus seeded random regular / bounded-degree graphs and
+// a multigraph with loops and parallel edges.
+func equivalenceCorpus(t testing.TB) []namedGraph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	gs := []namedGraph{
+		{"Cycle/9", gen.Cycle(9)},
+		{"Path/12", gen.Path(12)},
+		{"Complete/7", gen.Complete(7)},
+		{"Hypercube/3", gen.Hypercube(3)},
+		{"Torus/3x4", gen.Torus(3, 4)},
+		{"RandomRegular/n=20,d=3", gen.MustRandomRegular(rng, 20, 3)},
+		{"RandomRegular/n=16,d=4", gen.MustRandomRegular(rng, 16, 4)},
+		{"RandomBoundedDegree/n=24,delta=4", gen.RandomBoundedDegree(rng, 24, 4, 0.4)},
+		{"Multigraph/loops", multigraph()},
+	}
+	return gs
+}
+
+// multigraph exercises undirected loops, a directed loop, and parallel
+// edges in one instance.
+func multigraph() *graph.Graph {
+	b := graph.NewBuilder(3)
+	b.MustConnect(0, 1, 0, 2) // undirected loop
+	b.MustConnect(0, 3, 0, 3) // directed loop
+	b.MustConnect(0, 4, 1, 1)
+	b.MustConnect(0, 5, 1, 2) // parallel edge
+	b.MustConnect(1, 3, 2, 1)
+	b.MustConnect(2, 2, 2, 3) // undirected loop on 2
+	return b.MustBuild()
+}
+
+// algorithmsFor returns the paper's full algorithm set instantiated for
+// the graph. Algorithms run even on families outside their guarantee
+// (e.g. RegularOdd on an irregular graph): the output need not be a good
+// edge dominating set, but every engine must still compute the same one.
+func algorithmsFor(g *graph.Graph) []sim.Algorithm {
+	delta := g.MaxDegree()
+	if delta < 2 {
+		delta = 2
+	}
+	return []sim.Algorithm{
+		core.PortOne{},
+		core.RegularOdd{},
+		core.NewGeneral(delta),
+		core.AllEdges{},
+	}
+}
+
+// TestCrossEngineEquivalence runs every algorithm on every corpus graph
+// with all three engines and demands identical Outputs, Rounds, Messages
+// — or identical errors.
+func TestCrossEngineEquivalence(t *testing.T) {
+	for _, ng := range equivalenceCorpus(t) {
+		for _, alg := range algorithmsFor(ng.g) {
+			t.Run(ng.name+"/"+alg.Name(), func(t *testing.T) {
+				ref, refErr := sim.RunSequential(ng.g, alg)
+				for _, e := range engines()[1:] {
+					res, err := e.run(ng.g, alg)
+					if (err == nil) != (refErr == nil) {
+						t.Fatalf("%s: err = %v, sequential err = %v", e.name, err, refErr)
+					}
+					if err != nil {
+						if err.Error() != refErr.Error() {
+							t.Fatalf("%s: err %q, sequential err %q", e.name, err, refErr)
+						}
+						continue
+					}
+					if !reflect.DeepEqual(res.Outputs, ref.Outputs) {
+						t.Errorf("%s: Outputs diverge from sequential", e.name)
+					}
+					if res.Rounds != ref.Rounds {
+						t.Errorf("%s: Rounds = %d, sequential %d", e.name, res.Rounds, ref.Rounds)
+					}
+					if res.Messages != ref.Messages {
+						t.Errorf("%s: Messages = %d, sequential %d", e.name, res.Messages, ref.Messages)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestShardCountInvariance fixes the workload and sweeps the shard count:
+// 1, 2, NumCPU, and one shard per node must all reproduce the sequential
+// result exactly. Run under -race this also proves phase isolation.
+func TestShardCountInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := gen.MustRandomRegular(rng, 30, 3)
+	counts := []int{1, 2, runtime.NumCPU(), g.N()}
+	for _, alg := range algorithmsFor(g) {
+		ref, err := sim.RunSequential(g, alg)
+		if err != nil {
+			t.Fatalf("sequential %s: %v", alg.Name(), err)
+		}
+		for _, p := range counts {
+			res, err := sim.RunSharded(g, alg, sim.WithShards(p))
+			if err != nil {
+				t.Fatalf("sharded %s shards=%d: %v", alg.Name(), p, err)
+			}
+			if !reflect.DeepEqual(res.Outputs, ref.Outputs) ||
+				res.Rounds != ref.Rounds || res.Messages != ref.Messages {
+				t.Errorf("%s: shards=%d diverges from sequential", alg.Name(), p)
+			}
+		}
+	}
+}
+
+// stuckAlg never terminates; every engine must surface ErrRoundLimit.
+type stuckAlg struct{}
+
+func (stuckAlg) Name() string                { return "stuck" }
+func (stuckAlg) NewNode(degree int) sim.Node { return &stuckNode{deg: degree} }
+
+type stuckNode struct{ deg int }
+
+func (n *stuckNode) Send(round int) []sim.Message           { return make([]sim.Message, n.deg) }
+func (n *stuckNode) Receive(round int, inbox []sim.Message) {}
+func (n *stuckNode) Done() bool                             { return false }
+func (n *stuckNode) Output() []int                          { return nil }
+
+// badSendAlg returns a wrong-length slice from every node of degree 2.
+// On Path(3) exactly one node (the middle, index 1) has degree 2, so the
+// engines must all report the same node in the same error string. The
+// other nodes panic if Receive ever runs in the poisoned round: every
+// engine must abort after the send barrier, before any node can observe
+// the substitute messages.
+type badSendAlg struct{}
+
+func (badSendAlg) Name() string { return "bad-send" }
+func (badSendAlg) NewNode(degree int) sim.Node {
+	return &badSendNode{deg: degree}
+}
+
+type badSendNode struct {
+	deg  int
+	done bool
+}
+
+func (n *badSendNode) Send(round int) []sim.Message {
+	if n.deg == 2 {
+		return make([]sim.Message, n.deg+3)
+	}
+	msgs := make([]sim.Message, n.deg)
+	for i := range msgs {
+		msgs[i] = "well-formed"
+	}
+	return msgs
+}
+
+func (n *badSendNode) Receive(round int, inbox []sim.Message) {
+	for _, m := range inbox {
+		if m == nil {
+			panic("sim_test: Receive observed a substitute message from a poisoned round")
+		}
+	}
+	n.done = true
+}
+func (n *badSendNode) Done() bool    { return n.done }
+func (n *badSendNode) Output() []int { return nil }
+
+// TestEngineErrorParity checks that the failure modes surface identically
+// from every engine: the round budget as ErrRoundLimit, and a malformed
+// Send as an error naming the offending node — never a panic.
+func TestEngineErrorParity(t *testing.T) {
+	t.Run("RoundLimit", func(t *testing.T) {
+		g := gen.Cycle(6)
+		var msgs []string
+		for _, e := range engines() {
+			_, err := e.run(g, stuckAlg{}, sim.WithMaxRounds(10))
+			if !errors.Is(err, sim.ErrRoundLimit) {
+				t.Fatalf("%s: err = %v, want ErrRoundLimit", e.name, err)
+			}
+			msgs = append(msgs, err.Error())
+		}
+		for _, m := range msgs[1:] {
+			if m != msgs[0] {
+				t.Errorf("round-limit errors differ: %q vs %q", msgs[0], m)
+			}
+		}
+	})
+	t.Run("MalformedSend", func(t *testing.T) {
+		g := gen.Path(3)
+		var msgs []string
+		for _, e := range engines() {
+			_, err := e.run(g, badSendAlg{})
+			if err == nil {
+				t.Fatalf("%s: malformed Send accepted", e.name)
+			}
+			msgs = append(msgs, err.Error())
+		}
+		for _, m := range msgs[1:] {
+			if m != msgs[0] {
+				t.Errorf("malformed-send errors differ: %q vs %q", msgs[0], m)
+			}
+		}
+	})
+}

@@ -1,0 +1,227 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"eds/internal/graph"
+)
+
+// AutoShardedThreshold is the node count above which engine
+// auto-selection (eds.RunAuto, edsrun -engine auto, the harness scaling
+// studies) switches from the sequential reference to the sharded engine:
+// below it a sequential round is cheaper than the barrier
+// synchronisation, above it the flat-buffer parallelism pays off.
+const AutoShardedThreshold = 4096
+
+// RunAuto picks an engine by graph size — the sequential reference at or
+// below AutoShardedThreshold nodes, the sharded engine above it — and is
+// the single home of that policy for the facade, the CLI, and the
+// harness studies. Every engine returns identical Results, so the choice
+// affects only wall-clock time. One exception: a run carrying a
+// WithRoundHook always takes the sequential engine, whatever the size,
+// because it is the only engine that honours the hook.
+func RunAuto(g *graph.Graph, a Algorithm, opts ...Option) (*Result, error) {
+	if g.N() > AutoShardedThreshold && buildConfig(opts).roundHook == nil {
+		return RunSharded(g, a, opts...)
+	}
+	return RunSequential(g, a, opts...)
+}
+
+// Engines returns the named engine entry points, the single registry the
+// harness studies and tooling resolve engine names against.
+func Engines() map[string]func(*graph.Graph, Algorithm, ...Option) (*Result, error) {
+	return map[string]func(*graph.Graph, Algorithm, ...Option) (*Result, error){
+		"sequential": RunSequential,
+		"concurrent": RunConcurrent,
+		"sharded":    RunSharded,
+	}
+}
+
+// WithShards sets the number of worker shards used by RunSharded. Values
+// <= 0 select runtime.GOMAXPROCS(0). The shard count never affects the
+// Result, only the parallelism.
+func WithShards(p int) Option {
+	return func(c *config) { c.shards = p }
+}
+
+// RunSharded executes the algorithm with P worker shards over the graph's
+// flat routing table. Nodes are partitioned into contiguous ranges
+// balanced by port count; each round runs two phases separated by a
+// sync.WaitGroup barrier:
+//
+//	send:    every shard writes its nodes' outgoing messages into a flat
+//	         outbox indexed by global port number and counts them;
+//	receive: every shard gathers its inbox slots through the routing
+//	         table (inbox[j] = outbox[route[j]]), delivers each node's
+//	         contiguous inbox slice, and retires nodes that report Done.
+//
+// The two flat arrays are allocated once and reused every round — no
+// channels and no per-round allocation — so the engine runs within a
+// small constant factor of memory bandwidth on million-node graphs.
+// Results are bit-identical to RunSequential for every shard count.
+// WithRoundHook is not honoured (use the sequential engine for traces).
+func RunSharded(g *graph.Graph, a Algorithm, opts ...Option) (*Result, error) {
+	c := buildConfig(opts)
+	n := g.N()
+	p := c.shards
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > n {
+		p = n
+	}
+	if p < 1 {
+		p = 1
+	}
+
+	off := g.PortOffsets()
+	route := g.RoutingTable()
+	nodes := make([]Node, n)
+	for v := 0; v < n; v++ {
+		nodes[v] = a.NewNode(g.Deg(v))
+	}
+	done := make([]bool, n)
+	outbox := make([]Message, g.NumPorts())
+	inbox := make([]Message, g.NumPorts())
+	bounds := shardBounds(off, n, p)
+
+	// Each shard owns one slot; workers touch only their own slot and
+	// their node/port range, so phases are race-free by construction.
+	type shardStat struct {
+		sent    int   // non-nil messages this round
+		pending int   // nodes not yet retired
+		err     error // first malformed Send (lowest node in shard)
+	}
+	stats := make([]shardStat, p)
+
+	runPhase := func(f func(s, lo, hi int)) {
+		var wg sync.WaitGroup
+		wg.Add(p)
+		for s := 0; s < p; s++ {
+			go func(s int) {
+				defer wg.Done()
+				f(s, bounds[s], bounds[s+1])
+			}(s)
+		}
+		wg.Wait()
+	}
+
+	// Retire nodes that are born done (zero-round algorithms).
+	runPhase(func(s, lo, hi int) {
+		pending := 0
+		for v := lo; v < hi; v++ {
+			if nodes[v].Done() {
+				done[v] = true
+			} else {
+				pending++
+			}
+		}
+		stats[s].pending = pending
+	})
+
+	res := &Result{}
+	for round := 0; ; round++ {
+		pending := 0
+		for s := range stats {
+			pending += stats[s].pending
+		}
+		if pending == 0 {
+			break
+		}
+		if round >= c.maxRounds {
+			return nil, fmt.Errorf("%w: algorithm %q still running after %d rounds", ErrRoundLimit, a.Name(), round)
+		}
+		res.Rounds = round + 1
+
+		runPhase(func(s, lo, hi int) {
+			sent := 0
+			for v := lo; v < hi; v++ {
+				base := int(off[v])
+				deg := int(off[v+1]) - base
+				if done[v] {
+					for j := base; j < base+deg; j++ {
+						outbox[j] = nil
+					}
+					continue
+				}
+				out := nodes[v].Send(round)
+				if len(out) != deg {
+					stats[s].err = fmt.Errorf("sim: algorithm %q: node %d sent %d messages, want %d",
+						a.Name(), v, len(out), deg)
+					return
+				}
+				copy(outbox[base:base+deg], out)
+				for _, m := range out {
+					if m != nil {
+						sent++
+					}
+				}
+			}
+			stats[s].sent = sent
+		})
+		// Shards are contiguous ascending node ranges and each worker
+		// stops at its first bad node, so the first error in shard order
+		// is the lowest misbehaving node — the same error the sequential
+		// engine reports.
+		for s := range stats {
+			if stats[s].err != nil {
+				return nil, stats[s].err
+			}
+			res.Messages += stats[s].sent
+		}
+
+		runPhase(func(s, lo, hi int) {
+			for j := int(off[lo]); j < int(off[hi]); j++ {
+				inbox[j] = outbox[route[j]]
+			}
+			pending := 0
+			for v := lo; v < hi; v++ {
+				if done[v] {
+					continue
+				}
+				nodes[v].Receive(round, inbox[off[v]:off[v+1]])
+				if nodes[v].Done() {
+					done[v] = true
+				} else {
+					pending++
+				}
+			}
+			stats[s].pending = pending
+		})
+	}
+
+	outputs, err := collectOutputs(g, a, nodes)
+	if err != nil {
+		return nil, err
+	}
+	res.Outputs = outputs
+	return res, nil
+}
+
+// shardBounds partitions the nodes into p contiguous ranges balanced by
+// port count (the unit of per-round work), returning p+1 boundaries.
+// Trailing shards may be empty on degenerate inputs; that only idles a
+// worker.
+func shardBounds(off []int32, n, p int) []int {
+	bounds := make([]int, p+1)
+	total := int(off[n])
+	if total == 0 {
+		// Port-free graph (isolated nodes): balance by node count.
+		for s := 0; s <= p; s++ {
+			bounds[s] = s * n / p
+		}
+		return bounds
+	}
+	v := 0
+	for s := 1; s < p; s++ {
+		target := total * s / p
+		for v < n && int(off[v+1]) <= target {
+			v++
+		}
+		bounds[s] = v
+	}
+	bounds[p] = n
+	return bounds
+}

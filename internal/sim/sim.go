@@ -4,11 +4,28 @@
 // each of its ports, and (iii) receives one message from each of its
 // ports, routed by the involution p.
 //
-// Two engines are provided. RunSequential is a deterministic single-
-// threaded reference. RunConcurrent runs one goroutine per node and routes
-// messages over capacity-1 channels — the natural Go embedding of the
-// model — with a coordinator barrier keeping rounds aligned. Both must
-// produce identical results on every input; a property test enforces it.
+// Three engines are provided, all required to produce identical Results
+// on every input (a cross-engine property suite in engines_test.go
+// enforces it):
+//
+//   - RunSequential is the deterministic single-threaded reference. It is
+//     the only engine honouring WithRoundHook, and the engine of choice
+//     for traces, figures, and debugging.
+//   - RunConcurrent runs one goroutine per node and routes messages over
+//     capacity-1 channels — the natural Go embedding of the model, useful
+//     as a semantic stress test of the round structure. Its per-node
+//     goroutines and channels make it the slowest engine on large graphs.
+//   - RunSharded partitions the nodes into P contiguous shards over the
+//     graph's flat routing table (graph.RoutingTable) and runs the round
+//     loop over double-buffered flat message arrays: no channels, no
+//     per-round allocation, one WaitGroup barrier per phase. It is the
+//     fastest engine on large graphs and the scaling path for
+//     million-node runs; see sharded.go.
+//
+// A node is retired as soon as Done reports true after a Receive: no
+// engine calls Send or Receive on a retired node, so mixed-termination
+// schedules (e.g. degree-dependent scripts on irregular graphs) execute
+// identically everywhere.
 package sim
 
 import (
@@ -71,6 +88,7 @@ const defaultMaxRounds = 100_000
 type config struct {
 	maxRounds int
 	roundHook func(round int, sent [][]Message)
+	shards    int
 }
 
 // Option customises an execution.
@@ -115,13 +133,19 @@ func RunSequential(g *graph.Graph, a Algorithm, opts ...Option) (*Result, error)
 	}
 	res := &Result{}
 	for round := 0; ; round++ {
+		// Full scan, no early break: every node reporting Done must have
+		// its flag set before the send phase, or a retired node with a
+		// shorter schedule than a still-running peer would be asked to
+		// Send again (degree-dependent schedules on irregular graphs).
 		allDone := true
 		for v := 0; v < n; v++ {
-			if !done[v] && !nodes[v].Done() {
-				allDone = false
-				break
+			if !done[v] {
+				if nodes[v].Done() {
+					done[v] = true
+				} else {
+					allDone = false
+				}
 			}
-			done[v] = true
 		}
 		if allDone {
 			break
@@ -195,8 +219,35 @@ func RunConcurrent(g *graph.Graph, a Algorithm, opts ...Option) (*Result, error)
 			in[v][i] = make(chan Message, 1)
 		}
 	}
-	start := make([]chan bool, n) // true = run another round, false = stop
-	reports := make(chan int, n)  // non-nil message count per worker round
+	// start carries one signal per half-round: true = proceed with the
+	// send (resp. receive) half, false = stop. Splitting the round lets
+	// the coordinator abort a poisoned round after the send barrier, so
+	// no Receive ever observes the substitute messages of a malformed
+	// Send — the same abort point as the sequential and sharded engines.
+	start := make([]chan bool, n)
+	reports := make(chan int, n) // send half: non-nil count; receive half: completion
+	// A malformed Send cannot abort the send half (peers' channels must
+	// be filled to keep the half-round barrier alive), so the worker
+	// records the error, substitutes empty messages, and the coordinator
+	// fails the run at the barrier. The lowest node index wins so the
+	// error is deterministic and identical to the sequential engine's.
+	var (
+		errMu   sync.Mutex
+		errNode = -1
+		sendErr error
+	)
+	recordErr := func(v int, err error) {
+		errMu.Lock()
+		if errNode == -1 || v < errNode {
+			errNode, sendErr = v, err
+		}
+		errMu.Unlock()
+	}
+	takeErr := func() error {
+		errMu.Lock()
+		defer errMu.Unlock()
+		return sendErr
+	}
 	var wg sync.WaitGroup
 	for v := 0; v < n; v++ {
 		start[v] = make(chan bool, 1)
@@ -217,10 +268,9 @@ func RunConcurrent(g *graph.Graph, a Algorithm, opts ...Option) (*Result, error)
 				if !done {
 					out = node.Send(round)
 					if len(out) != deg {
-						// A malformed Send would deadlock the peers
-						// mid-round; treat it as a programmer error.
-						panic(fmt.Sprintf("sim: algorithm %q: node %d sent %d messages, want %d",
+						recordErr(v, fmt.Errorf("sim: algorithm %q: node %d sent %d messages, want %d",
 							a.Name(), v, len(out), deg))
+						out = make([]Message, deg)
 					}
 					for _, m := range out {
 						if m != nil {
@@ -234,6 +284,12 @@ func RunConcurrent(g *graph.Graph, a Algorithm, opts ...Option) (*Result, error)
 					q := g.P(v, i)
 					in[q.Node][q.Num-1] <- out[i-1]
 				}
+				reports <- sentCount
+				// Receive gate: the coordinator aborts here when any
+				// node's Send was malformed this round.
+				if !<-start[v] {
+					return
+				}
 				for i := 0; i < deg; i++ {
 					inbox[i] = <-in[v][i]
 				}
@@ -242,7 +298,7 @@ func RunConcurrent(g *graph.Graph, a Algorithm, opts ...Option) (*Result, error)
 					done = node.Done()
 				}
 				round++
-				reports <- sentCount
+				reports <- 0
 			}
 		}(v)
 	}
@@ -270,10 +326,22 @@ func RunConcurrent(g *graph.Graph, a Algorithm, opts ...Option) (*Result, error)
 		}
 		res.Rounds = round + 1
 		for v := 0; v < n; v++ {
-			start[v] <- true
+			start[v] <- true // send half
 		}
 		for i := 0; i < n; i++ {
 			res.Messages += <-reports
+		}
+		if err := takeErr(); err != nil {
+			// Workers are parked at the receive gate; stopAll's false
+			// signal releases them there just as it does at round start.
+			stopAll()
+			return nil, err
+		}
+		for v := 0; v < n; v++ {
+			start[v] <- true // receive half
+		}
+		for i := 0; i < n; i++ {
+			<-reports
 		}
 	}
 	stopAll()

@@ -144,15 +144,17 @@ func TestEnginesAgreeQuick(t *testing.T) {
 			if err != nil {
 				return false
 			}
-			con, err := RunConcurrent(g, alg)
-			if err != nil {
-				return false
-			}
-			if !reflect.DeepEqual(seq.Outputs, con.Outputs) {
-				return false
-			}
-			if seq.Rounds != con.Rounds || seq.Messages != con.Messages {
-				return false
+			for _, run := range []func(*graph.Graph, Algorithm, ...Option) (*Result, error){RunConcurrent, RunSharded} {
+				res, err := run(g, alg)
+				if err != nil {
+					return false
+				}
+				if !reflect.DeepEqual(seq.Outputs, res.Outputs) {
+					return false
+				}
+				if seq.Rounds != res.Rounds || seq.Messages != res.Messages {
+					return false
+				}
 			}
 		}
 		return true
@@ -179,6 +181,66 @@ func TestEnginesOnMultigraph(t *testing.T) {
 	}
 	if seq.Messages != con.Messages || seq.Rounds != con.Rounds {
 		t.Errorf("engines disagree: %+v vs %+v", seq, con)
+	}
+	sh, err := RunSharded(g, sumAlg{rounds: 2})
+	if err != nil {
+		t.Fatalf("RunSharded: %v", err)
+	}
+	if seq.Messages != sh.Messages || seq.Rounds != sh.Rounds {
+		t.Errorf("sharded engine disagrees: %+v vs %+v", seq, sh)
+	}
+}
+
+// varAlg runs for as many rounds as the node's own degree, broadcasting
+// every round: on irregular graphs nodes retire at different times. This
+// is the regression test for the sequential engine's done-scan — an early
+// break used to leave retired nodes' flags unset, so they kept sending
+// (inflating Messages relative to the other engines, or crashing nodes
+// whose Send cannot run past their schedule).
+type varAlg struct{}
+
+func (varAlg) Name() string            { return "degree-rounds" }
+func (varAlg) NewNode(degree int) Node { return &varNode{deg: degree, left: degree} }
+
+type varNode struct{ deg, left int }
+
+func (n *varNode) Send(round int) []Message {
+	msgs := make([]Message, n.deg)
+	for i := range msgs {
+		msgs[i] = "tick"
+	}
+	return msgs
+}
+
+func (n *varNode) Receive(round int, inbox []Message) { n.left-- }
+func (n *varNode) Done() bool                         { return n.left <= 0 }
+func (n *varNode) Output() []int                      { return nil }
+
+func TestHeterogeneousTermination(t *testing.T) {
+	// Star K_{1,4}: the centre runs 4 rounds, the leaves one round each.
+	g := graph.MustFromUndirected(5, [][2]int{{0, 1}, {0, 2}, {0, 3}, {0, 4}})
+	seq, err := RunSequential(g, varAlg{})
+	if err != nil {
+		t.Fatalf("RunSequential: %v", err)
+	}
+	if seq.Rounds != 4 {
+		t.Errorf("Rounds = %d, want 4", seq.Rounds)
+	}
+	// Centre sends 4 rounds x 4 ports, each leaf sends 1 round x 1 port.
+	if want := 4*4 + 4; seq.Messages != want {
+		t.Errorf("Messages = %d, want %d (retired leaves must not send)", seq.Messages, want)
+	}
+	for name, run := range map[string]func(*graph.Graph, Algorithm, ...Option) (*Result, error){
+		"concurrent": RunConcurrent,
+		"sharded":    RunSharded,
+	} {
+		res, err := run(g, varAlg{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Rounds != seq.Rounds || res.Messages != seq.Messages {
+			t.Errorf("%s disagrees: %+v vs %+v", name, res, seq)
+		}
 	}
 }
 
@@ -220,6 +282,9 @@ func TestRoundLimit(t *testing.T) {
 	}
 	if _, err := RunConcurrent(g, neverAlg{}, WithMaxRounds(10)); !errors.Is(err, ErrRoundLimit) {
 		t.Errorf("concurrent: err = %v, want ErrRoundLimit", err)
+	}
+	if _, err := RunSharded(g, neverAlg{}, WithMaxRounds(10)); !errors.Is(err, ErrRoundLimit) {
+		t.Errorf("sharded: err = %v, want ErrRoundLimit", err)
 	}
 }
 
@@ -263,6 +328,41 @@ func TestRoundHookSeesMessages(t *testing.T) {
 	}
 	if total != res.Messages {
 		t.Errorf("hook counted %d messages, result says %d", total, res.Messages)
+	}
+}
+
+func TestRunAutoHonoursRoundHook(t *testing.T) {
+	// Above the auto threshold RunAuto prefers the sharded engine, but a
+	// round hook must force the sequential engine — the only one that
+	// honours it — so the hook never goes silently uninvoked.
+	g := gen.Cycle(AutoShardedThreshold + 10)
+	hooked := 0
+	res, err := RunAuto(g, sumAlg{rounds: 2}, WithRoundHook(func(int, [][]Message) { hooked++ }))
+	if err != nil {
+		t.Fatalf("RunAuto with hook: %v", err)
+	}
+	if hooked != res.Rounds {
+		t.Errorf("hook fired %d times, want %d", hooked, res.Rounds)
+	}
+	plain, err := RunAuto(g, sumAlg{rounds: 2})
+	if err != nil {
+		t.Fatalf("RunAuto: %v", err)
+	}
+	if plain.Rounds != res.Rounds || plain.Messages != res.Messages {
+		t.Errorf("hooked and plain auto runs disagree: %+v vs %+v", res, plain)
+	}
+}
+
+func TestEnginesRegistryComplete(t *testing.T) {
+	want := []string{"sequential", "concurrent", "sharded"}
+	reg := Engines()
+	if len(reg) != len(want) {
+		t.Fatalf("registry has %d engines, want %d", len(reg), len(want))
+	}
+	for _, name := range want {
+		if reg[name] == nil {
+			t.Errorf("registry missing engine %q", name)
+		}
 	}
 }
 
