@@ -1,0 +1,94 @@
+// Command edsd is the edge-dominating-set daemon: a long-running HTTP
+// service that executes the paper's distributed algorithms on graphs
+// posted by clients, with admission control, per-request deadlines, a
+// result cache, and graceful shutdown.
+//
+// Usage:
+//
+//	edsd -addr :8080
+//	edsd -addr :8080 -workers 16 -queue 128 -cache 1024 -timeout 10s
+//
+// Run a graph:
+//
+//	edsrun -graph cycle:12 ... writes the same wire format this accepts:
+//	curl --data-binary @graph.txt 'localhost:8080/v1/run?alg=auto&engine=auto'
+//
+// Operational endpoints: GET /healthz (200 while serving, 503 while
+// draining), GET /statsz (request counts, cache hit rate, queue depth,
+// per-algorithm latency histograms).
+//
+// On SIGINT/SIGTERM the daemon stops accepting new runs, keeps serving
+// the in-flight ones until they finish or the drain deadline passes,
+// then exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"eds/internal/graph"
+	"eds/internal/server"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	log.SetPrefix("edsd: ")
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "concurrent runs (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 64, "admission queue depth beyond the workers")
+	cache := flag.Int("cache", 256, "result cache entries (negative disables)")
+	maxBody := flag.Int64("max-body", 32<<20, "request body cap in bytes")
+	maxNodes := flag.Int("max-nodes", graph.DefaultLimits.MaxNodes, "decoded graph node cap")
+	maxPorts := flag.Int("max-ports", graph.DefaultLimits.MaxPorts, "decoded graph port cap")
+	timeout := flag.Duration("timeout", 30*time.Second, "default per-request deadline")
+	maxTimeout := flag.Duration("max-timeout", 2*time.Minute, "largest client-requestable deadline")
+	drain := flag.Duration("drain", 30*time.Second, "shutdown drain deadline for in-flight runs")
+	flag.Parse()
+
+	s := server.New(server.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		MaxBodyBytes:   *maxBody,
+		Limits:         graph.Limits{MaxNodes: *maxNodes, MaxPorts: *maxPorts},
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		CacheEntries:   *cache,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("serving on %s", *addr)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatalf("listen: %v", err)
+	case sig := <-sigc:
+		log.Printf("received %v, draining (deadline %s)", sig, *drain)
+	}
+
+	// Two-phase shutdown: StartDraining rejects new runs and flips
+	// /healthz so load balancers stop routing here; Shutdown then waits
+	// for in-flight handlers (and their engine runs) to finish.
+	s.StartDraining()
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("shutdown: %v (in-flight runs abandoned)", err)
+		os.Exit(1)
+	}
+	log.Printf("drained cleanly")
+}

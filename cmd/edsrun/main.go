@@ -29,6 +29,7 @@ import (
 	"os"
 
 	"eds/internal/sim"
+	"eds/internal/spec"
 )
 
 func main() {
@@ -41,14 +42,14 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed for random graph families")
 	dotOut := flag.String("dot", "", "write a DOT rendering with the output highlighted")
 	exact := flag.Bool("exact", false, "also compute the exact optimum (exponential; small graphs only)")
-	profile := flag.Bool("profile", false, "print the per-message-type communication profile (sequential and auto engines)")
+	profile := flag.Bool("profile", false, "print the per-message-type communication profile (sequential, sharded, and auto engines)")
 	flag.Parse()
 
-	g, opt, err := parseGraph(*graphSpec, *seed)
+	g, opt, err := spec.Graph(*graphSpec, *seed)
 	if err != nil {
 		log.Fatal(err)
 	}
-	alg, bound, err := parseAlg(*algSpec, g)
+	alg, bound, err := spec.Algorithm(*algSpec, g)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -65,15 +66,16 @@ func main() {
 	}
 	switch *engine {
 	case "auto":
-		// RunAuto routes hooked runs to the sequential engine, so
-		// -profile keeps working whatever the graph size.
 		res, err = sim.RunAuto(g, alg, append(traceOpts(), sim.WithShards(*shards))...)
 	case "sequential":
 		res, err = sim.RunSequential(g, alg, traceOpts()...)
 	case "concurrent":
+		if *profile {
+			fatalUsage("-profile is not supported by the concurrent engine")
+		}
 		res, err = sim.RunConcurrent(g, alg)
 	case "sharded":
-		res, err = sim.RunSharded(g, alg, sim.WithShards(*shards))
+		res, err = sim.RunSharded(g, alg, append(traceOpts(), sim.WithShards(*shards))...)
 	default:
 		log.Fatalf("unknown engine %q", *engine)
 	}

@@ -30,6 +30,7 @@
 package eds
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -59,9 +60,33 @@ type (
 	Algorithm = sim.Algorithm
 	// Result carries the statistics of one execution.
 	Result = sim.Result
+	// Option customises an execution (context, round budget, shards).
+	Option = sim.Option
 	// Ratio is an exact rational approximation ratio.
 	Ratio = ratio.R
 )
+
+// Execution errors, re-exported from the engine package.
+var (
+	// ErrRoundLimit is returned when a run exceeds its round budget.
+	ErrRoundLimit = sim.ErrRoundLimit
+	// ErrCanceled is returned when a run attached to a context is
+	// canceled or times out; the error also wraps context.Canceled or
+	// context.DeadlineExceeded accordingly.
+	ErrCanceled = sim.ErrCanceled
+)
+
+// WithContext makes a run cancellable: every engine polls the context at
+// its round barriers and returns an error wrapping ErrCanceled when it
+// is canceled or its deadline passes.
+func WithContext(ctx context.Context) Option { return sim.WithContext(ctx) }
+
+// WithMaxRounds overrides the default round budget.
+func WithMaxRounds(n int) Option { return sim.WithMaxRounds(n) }
+
+// WithShards sets the worker count of the sharded engine (<= 0 selects
+// one shard per CPU). Other engines ignore it.
+func WithShards(p int) Option { return sim.WithShards(p) }
 
 // NewBuilder returns a builder for a graph with n isolated nodes.
 func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
@@ -139,16 +164,17 @@ func ForGraph(g *Graph) (Algorithm, Ratio, error) {
 }
 
 // Run executes the algorithm on the deterministic sequential engine and
-// returns the selected edge set.
-func Run(g *Graph, a Algorithm) (*EdgeSet, *Result, error) {
-	return sim.RunToEdgeSet(g, a)
+// returns the selected edge set. Options (WithContext, WithMaxRounds)
+// customise the execution.
+func Run(g *Graph, a Algorithm, opts ...Option) (*EdgeSet, *Result, error) {
+	return runWith(sim.RunSequential, g, a, opts...)
 }
 
 // RunConcurrent executes the algorithm with one goroutine per node and
 // capacity-1 channels carrying the messages, then returns the selected
 // edge set. The result is always identical to Run's.
-func RunConcurrent(g *Graph, a Algorithm) (*EdgeSet, *Result, error) {
-	return runWith(sim.RunConcurrent, g, a)
+func RunConcurrent(g *Graph, a Algorithm, opts ...Option) (*EdgeSet, *Result, error) {
+	return runWith(sim.RunConcurrent, g, a, opts...)
 }
 
 // RunSharded executes the algorithm on the sharded flat-buffer engine:
@@ -156,20 +182,20 @@ func RunConcurrent(g *Graph, a Algorithm) (*EdgeSet, *Result, error) {
 // precomputed flat routing table with no channels and no per-round
 // allocation. The result is always identical to Run's; on large graphs
 // this is by far the fastest engine.
-func RunSharded(g *Graph, a Algorithm) (*EdgeSet, *Result, error) {
-	return runWith(sim.RunSharded, g, a)
+func RunSharded(g *Graph, a Algorithm, opts ...Option) (*EdgeSet, *Result, error) {
+	return runWith(sim.RunSharded, g, a, opts...)
 }
 
 // RunAuto picks an engine by graph size — the sequential reference at or
 // below sim.AutoShardedThreshold nodes, the sharded engine above it —
 // and returns the selected edge set. Every engine returns identical
 // results, so the choice affects only the wall-clock time.
-func RunAuto(g *Graph, a Algorithm) (*EdgeSet, *Result, error) {
-	return runWith(sim.RunAuto, g, a)
+func RunAuto(g *Graph, a Algorithm, opts ...Option) (*EdgeSet, *Result, error) {
+	return runWith(sim.RunAuto, g, a, opts...)
 }
 
-func runWith(run func(*graph.Graph, sim.Algorithm, ...sim.Option) (*sim.Result, error), g *Graph, a Algorithm) (*EdgeSet, *Result, error) {
-	res, err := run(g, a)
+func runWith(run func(*graph.Graph, sim.Algorithm, ...sim.Option) (*sim.Result, error), g *Graph, a Algorithm, opts ...Option) (*EdgeSet, *Result, error) {
+	res, err := run(g, a, opts...)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -2,8 +2,10 @@ package graph
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 )
 
@@ -14,7 +16,10 @@ import (
 //	conn <v> <i> <u> <j>    # p(v,i) = (u,j); one line per orbit
 //
 // The format round-trips through ReadGraph and is the interchange format
-// of the edsrun tool's -graph file:PATH option.
+// of the edsrun tool's -graph file:PATH option and the edsd server's
+// request body. The output is canonical: a fixed line order with no
+// comments or extra whitespace, so byte equality of two WriteTo outputs
+// is graph equality (the edsd result cache keys on it).
 func WriteTo(w io.Writer, g *Graph) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "nodes %d\n", g.N())
@@ -32,10 +37,51 @@ func WriteTo(w io.Writer, g *Graph) error {
 	return bw.Flush()
 }
 
-// ReadGraph parses the WriteTo format.
+// Limits bounds the size of graphs accepted by ReadGraphLimits. The
+// codec parses untrusted network bytes (the edsd server feeds request
+// bodies straight into it), so both dimensions that drive allocation are
+// capped: the node count, and the total number of ports (a single
+// "conn 0 999999999 ..." line would otherwise allocate gigabytes,
+// because the builder grows a node's port table up to the named port).
+// Non-positive fields fall back to the DefaultLimits value.
+type Limits struct {
+	MaxNodes int
+	MaxPorts int
+}
+
+// DefaultLimits is the cap applied by ReadGraph: large enough for every
+// experiment in the repo (million-node graphs), small enough that a
+// hostile input cannot OOM the process.
+var DefaultLimits = Limits{MaxNodes: 1 << 22, MaxPorts: 1 << 24}
+
+// ErrTooLarge is wrapped by decode errors caused by an input exceeding
+// the size limits, letting servers distinguish "too big" (413) from
+// "malformed" (400).
+var ErrTooLarge = errors.New("graph: input exceeds decode limits")
+
+// ReadGraph parses the WriteTo format under DefaultLimits.
 func ReadGraph(r io.Reader) (*Graph, error) {
+	return ReadGraphLimits(r, DefaultLimits)
+}
+
+// ReadGraphLimits parses the WriteTo format, rejecting inputs that
+// declare more than lim.MaxNodes nodes or wire more than lim.MaxPorts
+// ports (errors wrapping ErrTooLarge). Parsing is strict: every numeric
+// field must be a whole base-10 integer, and any line longer than the
+// scanner budget (64 KiB) is an error. Allocation is proportional to the
+// declared size, never to attacker-controlled port numbers beyond the
+// cap.
+func ReadGraphLimits(r io.Reader, lim Limits) (*Graph, error) {
+	if lim.MaxNodes <= 0 {
+		lim.MaxNodes = DefaultLimits.MaxNodes
+	}
+	if lim.MaxPorts <= 0 {
+		lim.MaxPorts = DefaultLimits.MaxPorts
+	}
 	sc := bufio.NewScanner(r)
 	var b *Builder
+	var maxPortSeen []int // per node, the highest port number wired so far
+	totalPorts := 0
 	line := 0
 	for sc.Scan() {
 		line++
@@ -49,24 +95,62 @@ func ReadGraph(r io.Reader) (*Graph, error) {
 			if b != nil {
 				return nil, fmt.Errorf("graph: line %d: duplicate nodes directive", line)
 			}
-			var n int
-			if _, err := fmt.Sscanf(fields[1], "%d", &n); err != nil || len(fields) != 2 {
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("graph: line %d: bad nodes directive %q", line, text)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil {
 				return nil, fmt.Errorf("graph: line %d: bad nodes directive %q", line, text)
 			}
 			if n < 0 {
 				return nil, fmt.Errorf("graph: line %d: negative node count", line)
 			}
+			if n > lim.MaxNodes {
+				return nil, fmt.Errorf("%w: line %d: %d nodes > limit %d", ErrTooLarge, line, n, lim.MaxNodes)
+			}
 			b = NewBuilder(n)
+			maxPortSeen = make([]int, n)
 		case "conn":
 			if b == nil {
 				return nil, fmt.Errorf("graph: line %d: conn before nodes", line)
 			}
-			var v, i, u, j int
 			if len(fields) != 5 {
 				return nil, fmt.Errorf("graph: line %d: bad conn directive %q", line, text)
 			}
-			if _, err := fmt.Sscanf(strings.Join(fields[1:], " "), "%d %d %d %d", &v, &i, &u, &j); err != nil {
-				return nil, fmt.Errorf("graph: line %d: %v", line, err)
+			var nums [4]int
+			for k, f := range fields[1:] {
+				v, err := strconv.Atoi(f)
+				if err != nil {
+					return nil, fmt.Errorf("graph: line %d: bad conn directive %q: %v", line, text, err)
+				}
+				nums[k] = v
+			}
+			v, i, u, j := nums[0], nums[1], nums[2], nums[3]
+			// Size gate before Connect: the builder grows a node's port
+			// table up to the named port number, so the growth both ends
+			// would cause is accounted against the port budget first.
+			if v >= 0 && v < b.N() && u >= 0 && u < b.N() && i >= 1 && j >= 1 {
+				grow := 0
+				if i > maxPortSeen[v] {
+					grow += i - maxPortSeen[v]
+				}
+				high := maxPortSeen[u]
+				if u == v && i > high {
+					high = i
+				}
+				if j > high {
+					grow += j - high
+				}
+				if totalPorts+grow > lim.MaxPorts {
+					return nil, fmt.Errorf("%w: line %d: more than %d ports", ErrTooLarge, line, lim.MaxPorts)
+				}
+				totalPorts += grow
+				if i > maxPortSeen[v] {
+					maxPortSeen[v] = i
+				}
+				if j > maxPortSeen[u] {
+					maxPortSeen[u] = j
+				}
 			}
 			if err := b.Connect(v, i, u, j); err != nil {
 				return nil, fmt.Errorf("graph: line %d: %v", line, err)

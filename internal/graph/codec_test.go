@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
@@ -61,6 +62,11 @@ func TestReadGraphErrors(t *testing.T) {
 		{"double wire", "nodes 3\nconn 0 1 1 1\nconn 0 1 2 1"},
 		{"hole in ports", "nodes 2\nconn 0 2 1 1"},
 		{"unknown directive", "nodes 1\nfrobnicate"},
+		{"nodes without count", "nodes"},
+		{"nodes with trailing junk", "nodes 2 extra"},
+		{"non-integer nodes", "nodes 2x"},
+		{"non-integer conn field", "nodes 2\nconn 0 1 1 1x"},
+		{"nodes overflow", "nodes 99999999999999999999"},
 	}
 	for _, tc := range tests {
 		t.Run(tc.name, func(t *testing.T) {
@@ -69,6 +75,54 @@ func TestReadGraphErrors(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestReadGraphLimits checks the decode caps: a hostile input may not
+// force allocation past MaxNodes or MaxPorts, and the rejection is
+// distinguishable (ErrTooLarge) from a malformed input.
+func TestReadGraphLimits(t *testing.T) {
+	lim := Limits{MaxNodes: 4, MaxPorts: 6}
+	t.Run("too many nodes", func(t *testing.T) {
+		_, err := ReadGraphLimits(strings.NewReader("nodes 5\n"), lim)
+		if !errors.Is(err, ErrTooLarge) {
+			t.Errorf("err = %v, want ErrTooLarge", err)
+		}
+	})
+	t.Run("huge port number", func(t *testing.T) {
+		_, err := ReadGraphLimits(strings.NewReader("nodes 2\nconn 0 1000000 1 1\n"), lim)
+		if !errors.Is(err, ErrTooLarge) {
+			t.Errorf("err = %v, want ErrTooLarge", err)
+		}
+	})
+	t.Run("port budget across lines", func(t *testing.T) {
+		// Each line wires 2 ports; the fourth line exceeds the 6-port cap.
+		input := "nodes 4\nconn 0 1 1 1\nconn 0 2 2 1\nconn 0 3 3 1\nconn 1 2 2 2\n"
+		_, err := ReadGraphLimits(strings.NewReader(input), lim)
+		if !errors.Is(err, ErrTooLarge) {
+			t.Errorf("err = %v, want ErrTooLarge", err)
+		}
+	})
+	t.Run("within limits", func(t *testing.T) {
+		g, err := ReadGraphLimits(strings.NewReader("nodes 4\nconn 0 1 1 1\nconn 2 1 3 1\n"), lim)
+		if err != nil {
+			t.Fatalf("ReadGraphLimits: %v", err)
+		}
+		if g.N() != 4 || g.M() != 2 {
+			t.Errorf("got n=%d m=%d", g.N(), g.M())
+		}
+	})
+	t.Run("default limits reject absurd sizes", func(t *testing.T) {
+		_, err := ReadGraph(strings.NewReader("nodes 1000000000\n"))
+		if !errors.Is(err, ErrTooLarge) {
+			t.Errorf("err = %v, want ErrTooLarge", err)
+		}
+	})
+	t.Run("malformed is not ErrTooLarge", func(t *testing.T) {
+		_, err := ReadGraphLimits(strings.NewReader("nodes x\n"), lim)
+		if err == nil || errors.Is(err, ErrTooLarge) {
+			t.Errorf("err = %v, want a plain parse error", err)
+		}
+	})
 }
 
 func TestReadGraphCommentsAndWhitespace(t *testing.T) {

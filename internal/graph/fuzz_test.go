@@ -1,8 +1,65 @@
 package graph
 
 import (
+	"bytes"
+	"strings"
 	"testing"
 )
+
+// FuzzReadGraph feeds arbitrary bytes to the codec, which now parses
+// untrusted network input for the edsd server. The decoder must never
+// panic and must never allocate beyond the configured limits; any graph
+// it does accept must validate, and the WriteTo → ReadGraph round trip
+// of an accepted graph must be the identity.
+func FuzzReadGraph(f *testing.F) {
+	f.Add([]byte("nodes 2\nconn 0 1 1 1\n"))
+	f.Add([]byte("nodes 3\nconn 0 1 1 1\nconn 1 2 2 1\n"))
+	f.Add([]byte("nodes 1\nconn 0 1 0 1\n"))              // directed loop
+	f.Add([]byte("nodes 1\nconn 0 1 0 2\n"))              // undirected loop
+	f.Add([]byte("# comment\n\nnodes 2\nconn 0 1 1 1\n")) // comments + blanks
+	f.Add([]byte("nodes"))                                // truncated directive
+	f.Add([]byte("nodes 99999999999999999999"))           // overflows int
+	f.Add([]byte("nodes 2\nconn 0 1000000 1 1\n"))        // huge port number
+	f.Add([]byte("nodes -5\n"))
+	f.Add([]byte("nodes 2\nnodes 2\n"))
+	f.Add([]byte("conn 0 1 1 1\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Tight limits keep the fuzzer fast and prove the caps bound
+		// allocation no matter what the input declares.
+		lim := Limits{MaxNodes: 64, MaxPorts: 256}
+		g, err := ReadGraphLimits(bytes.NewReader(data), lim)
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph fails validation: %v", err)
+		}
+		if g.N() > lim.MaxNodes || g.NumPorts() > lim.MaxPorts {
+			t.Fatalf("limits not enforced: n=%d ports=%d", g.N(), g.NumPorts())
+		}
+		var buf bytes.Buffer
+		if err := WriteTo(&buf, g); err != nil {
+			t.Fatalf("WriteTo: %v", err)
+		}
+		canonical := buf.String()
+		h, err := ReadGraphLimits(strings.NewReader(canonical), lim)
+		if err != nil {
+			t.Fatalf("re-reading WriteTo output: %v", err)
+		}
+		if !g.Equal(h) {
+			t.Fatalf("round trip is not the identity:\n%s", canonical)
+		}
+		// Canonical form is a fixed point: serialising again must yield
+		// the same bytes (the edsd result cache keys on them).
+		buf.Reset()
+		if err := WriteTo(&buf, h); err != nil {
+			t.Fatalf("WriteTo(round-tripped): %v", err)
+		}
+		if buf.String() != canonical {
+			t.Fatalf("canonical form is not a fixed point:\n%q\nvs\n%q", canonical, buf.String())
+		}
+	})
+}
 
 // FuzzBuilder feeds arbitrary connect sequences to the builder: whatever
 // subset of operations succeeds must still produce a valid involution,

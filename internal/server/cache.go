@@ -1,0 +1,74 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is a fixed-capacity LRU of finished response bodies, keyed
+// by canonical graph bytes + resolved algorithm + response shape (see
+// cacheKey in server.go). A hit returns the exact bytes of the original
+// response, so repeated identical requests are served without touching
+// the admission queue or an engine. A capacity <= 0 disables caching.
+type resultCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached body for key, promoting the entry to most
+// recently used. The caller must not modify the returned slice.
+func (c *resultCache) get(key string) ([]byte, bool) {
+	if c.cap <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// put inserts or refreshes key, evicting the least recently used entry
+// past capacity.
+func (c *resultCache) put(key string, body []byte) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).body = body
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, body: body})
+	for c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.items, last.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,472 @@
+// Package server implements edsd, the HTTP serving layer over the
+// simulation engines: clients POST a port-numbered graph in the
+// internal/graph wire format together with an algorithm/engine spec and
+// receive the execution's statistics and solution summary as JSON.
+//
+// The server is built for sustained traffic, not one-shot runs:
+//
+//   - admission control: a bounded worker pool with a bounded wait
+//     queue; requests beyond both bounds are rejected immediately with
+//     429 instead of piling up;
+//   - per-request deadlines: every run carries a context with a
+//     deadline (client-chosen via ?timeout=, capped by the server); the
+//     engines poll it at round barriers (sim.WithContext), so a
+//     timed-out run stops computing and returns 504;
+//   - result cache: an LRU keyed by the canonical graph bytes plus the
+//     resolved algorithm, so identical requests are served byte-for-byte
+//     identically without re-running the engine;
+//   - input hardening: request bodies are size-capped (413), and the
+//     graph decoder enforces node/port limits (graph.ReadGraphLimits)
+//     so hostile inputs cannot OOM the process;
+//   - observability: /healthz for liveness/draining, /statsz for
+//     request counts, cache hit rate, queue depth, and per-algorithm
+//     latency histograms;
+//   - graceful shutdown: StartDraining flips /healthz to 503 and
+//     rejects new runs while in-flight runs complete (http.Server's
+//     Shutdown supplies the connection-level drain).
+//
+// Endpoints:
+//
+//	POST /v1/run?alg=S&engine=E&shards=P&timeout=D&edges=1   body: graph
+//	GET  /healthz
+//	GET  /statsz
+package server
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strconv"
+	"time"
+
+	"eds/internal/graph"
+	"eds/internal/ratio"
+	"eds/internal/sim"
+	"eds/internal/spec"
+	"eds/internal/verify"
+)
+
+// StatusClientClosedRequest is the de-facto status (nginx's 499) for a
+// run abandoned because the client went away before it finished.
+const StatusClientClosedRequest = 499
+
+// Config tunes the server. Zero fields take the documented defaults.
+type Config struct {
+	// Workers is the number of runs executed concurrently (default:
+	// GOMAXPROCS).
+	Workers int
+	// QueueDepth is the number of admitted requests allowed to wait for
+	// a worker beyond the Workers in flight (default 64). Requests
+	// beyond Workers+QueueDepth are answered 429.
+	QueueDepth int
+	// MaxBodyBytes caps the request body; larger bodies get 413
+	// (default 32 MiB).
+	MaxBodyBytes int64
+	// Limits bounds the decoded graph; inputs beyond it get 413
+	// (default graph.DefaultLimits).
+	Limits graph.Limits
+	// DefaultTimeout is the per-request deadline when the client sends
+	// no ?timeout= (default 30s). MaxTimeout caps what a client may ask
+	// for (default 2m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// CacheEntries is the LRU result-cache capacity (default 256; < 0
+	// disables the cache).
+	CacheEntries int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.QueueDepth < 0 {
+		c.QueueDepth = 0
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 256
+	}
+	return c
+}
+
+// Server serves the edsd API. Create one with New and mount Handler on
+// an http.Server (cmd/edsd) or an httptest.Server (tests).
+type Server struct {
+	cfg   Config
+	sem   chan struct{} // worker slots
+	queue chan struct{} // bounded wait queue
+	cache *resultCache
+	st    *stats
+	mux   *http.ServeMux
+
+	draining chan struct{} // closed by StartDraining
+
+	// runEngine executes a parsed request on an engine; tests substitute
+	// it to script slow or failing runs deterministically.
+	runEngine func(ctx context.Context, engine string, shards int, g *graph.Graph, a sim.Algorithm) (*sim.Result, error)
+}
+
+// New returns a Server with the given configuration.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:       cfg,
+		sem:       make(chan struct{}, cfg.Workers),
+		queue:     make(chan struct{}, cfg.QueueDepth),
+		cache:     newResultCache(cfg.CacheEntries),
+		st:        newStats(),
+		draining:  make(chan struct{}),
+		runEngine: defaultRunEngine,
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+	return s
+}
+
+// Handler returns the root handler for the edsd API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// StartDraining puts the server into shutdown mode: /healthz turns 503
+// (telling load balancers to stop routing here) and new runs are
+// rejected with 503, while runs already admitted keep executing. Safe to
+// call more than once. Pair it with http.Server.Shutdown, which waits
+// for the in-flight handlers to return.
+func (s *Server) StartDraining() {
+	select {
+	case <-s.draining:
+	default:
+		close(s.draining)
+	}
+}
+
+func (s *Server) isDraining() bool {
+	select {
+	case <-s.draining:
+		return true
+	default:
+		return false
+	}
+}
+
+func defaultRunEngine(ctx context.Context, engine string, shards int, g *graph.Graph, a sim.Algorithm) (*sim.Result, error) {
+	opts := []sim.Option{sim.WithContext(ctx), sim.WithShards(shards)}
+	if engine == "auto" {
+		return sim.RunAuto(g, a, opts...)
+	}
+	run, ok := sim.Engines()[engine]
+	if !ok {
+		return nil, fmt.Errorf("server: unknown engine %q", engine)
+	}
+	return run(g, a, opts...)
+}
+
+// RunResponse is the JSON body of a successful POST /v1/run.
+type RunResponse struct {
+	Algorithm  string   `json:"algorithm"`
+	N          int      `json:"n"`
+	M          int      `json:"m"`
+	Rounds     int      `json:"rounds"`
+	Messages   int      `json:"messages"`
+	Edges      int      `json:"edges"`
+	Dominating bool     `json:"dominating"`
+	Bound      string   `json:"bound,omitempty"`
+	EdgeList   [][2]int `json:"edge_list,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	body, _ := json.Marshal(errorResponse{Error: fmt.Sprintf(format, args...)})
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(body, '\n'))
+	s.st.recordStatus(code)
+}
+
+// runRequest is one parsed and validated /v1/run request.
+type runRequest struct {
+	algSpec      string
+	engine       string
+	shards       int
+	timeout      time.Duration
+	includeEdges bool
+}
+
+func (s *Server) parseRunRequest(r *http.Request) (runRequest, error) {
+	q := r.URL.Query()
+	req := runRequest{
+		algSpec: q.Get("alg"),
+		engine:  q.Get("engine"),
+		timeout: s.cfg.DefaultTimeout,
+	}
+	if req.algSpec == "" {
+		req.algSpec = "auto"
+	}
+	if req.engine == "" {
+		req.engine = "auto"
+	}
+	if _, ok := sim.Engines()[req.engine]; !ok && req.engine != "auto" {
+		return req, fmt.Errorf("unknown engine %q", req.engine)
+	}
+	if v := q.Get("shards"); v != "" {
+		p, err := strconv.Atoi(v)
+		if err != nil {
+			return req, fmt.Errorf("bad shards %q: %v", v, err)
+		}
+		req.shards = p
+	}
+	if v := q.Get("timeout"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			return req, fmt.Errorf("bad timeout %q: %v", v, err)
+		}
+		if d <= 0 {
+			return req, fmt.Errorf("timeout %q must be positive", v)
+		}
+		req.timeout = d
+	}
+	if req.timeout > s.cfg.MaxTimeout {
+		req.timeout = s.cfg.MaxTimeout
+	}
+	if v := q.Get("edges"); v != "" && v != "0" && v != "false" {
+		req.includeEdges = true
+	}
+	return req, nil
+}
+
+// cacheKey identifies a result: the canonical serialisation of the graph
+// (WriteTo output is canonical, so two wire forms of the same graph
+// collide as they should), the resolved algorithm name (so alg=auto and
+// its resolution share an entry), and the response shape. Engine and
+// shard count are deliberately excluded: every engine returns identical
+// results, which the cross-engine equivalence suite enforces.
+func cacheKey(canonical []byte, algName string, includeEdges bool) string {
+	sum := sha256.Sum256(canonical)
+	return fmt.Sprintf("%x|%s|%v", sum, algName, includeEdges)
+}
+
+// acquire admits the request into the worker pool, waiting in the
+// bounded queue if all workers are busy. It returns a release function,
+// or an HTTP status when the request cannot run: 429 when the queue is
+// full, 504/499 when the deadline expires or the client leaves while
+// queued.
+func (s *Server) acquire(ctx context.Context) (release func(), status int) {
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, 0
+	default:
+	}
+	select {
+	case s.queue <- struct{}{}:
+	default:
+		return nil, http.StatusTooManyRequests
+	}
+	defer func() { <-s.queue }()
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, 0
+	case <-ctx.Done():
+		if errors.Is(context.Cause(ctx), context.DeadlineExceeded) {
+			return nil, http.StatusGatewayTimeout
+		}
+		return nil, StatusClientClosedRequest
+	}
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if s.isDraining() {
+		s.writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	req, err := s.parseRunRequest(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", s.cfg.MaxBodyBytes)
+			return
+		}
+		s.writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	g, err := graph.ReadGraphLimits(bytes.NewReader(body), s.cfg.Limits)
+	if err != nil {
+		if errors.Is(err, graph.ErrTooLarge) {
+			s.writeError(w, http.StatusRequestEntityTooLarge, "%v", err)
+			return
+		}
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	alg, bound, err := spec.Algorithm(req.algSpec, g)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	// Cache probe on the canonical bytes: a hit serves the exact bytes
+	// of the original response without queueing or running anything.
+	var canonical bytes.Buffer
+	if err := graph.WriteTo(&canonical, g); err != nil {
+		s.writeError(w, http.StatusInternalServerError, "canonicalising graph: %v", err)
+		return
+	}
+	key := cacheKey(canonical.Bytes(), alg.Name(), req.includeEdges)
+	if cached, ok := s.cache.get(key); ok {
+		s.st.recordCache(true)
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Cache", "hit")
+		w.Write(cached)
+		s.st.recordStatus(http.StatusOK)
+		return
+	}
+	s.st.recordCache(false)
+
+	// The deadline starts before admission: time spent waiting for a
+	// worker counts against the request's budget.
+	ctx, cancel := context.WithTimeout(r.Context(), req.timeout)
+	defer cancel()
+	release, code := s.acquire(ctx)
+	if code != 0 {
+		s.writeError(w, code, "request not admitted (%d workers busy, queue of %d full or deadline passed)",
+			s.cfg.Workers, s.cfg.QueueDepth)
+		return
+	}
+	defer release()
+
+	start := time.Now()
+	res, err := s.runEngine(ctx, req.engine, req.shards, g, alg)
+	if err != nil {
+		if errors.Is(err, sim.ErrCanceled) {
+			if errors.Is(err, context.DeadlineExceeded) {
+				s.writeError(w, http.StatusGatewayTimeout, "run exceeded its %s deadline", req.timeout)
+				return
+			}
+			s.writeError(w, StatusClientClosedRequest, "client canceled the run")
+			return
+		}
+		// Round limits, malformed algorithm behaviour: the run failed on
+		// the server's side.
+		s.writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.st.recordLatency(alg.Name(), time.Since(start))
+
+	respBody, err := buildResponse(g, alg.Name(), bound, res, req.includeEdges)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.cache.put(key, respBody)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", "miss")
+	w.Write(respBody)
+	s.st.recordStatus(http.StatusOK)
+}
+
+func buildResponse(g *graph.Graph, algName string, bound *ratio.R, res *sim.Result, includeEdges bool) ([]byte, error) {
+	d, err := sim.EdgeSet(g, res.Outputs)
+	if err != nil {
+		return nil, fmt.Errorf("collecting edge set: %w", err)
+	}
+	resp := RunResponse{
+		Algorithm:  algName,
+		N:          g.N(),
+		M:          g.M(),
+		Rounds:     res.Rounds,
+		Messages:   res.Messages,
+		Edges:      d.Count(),
+		Dominating: verify.IsEdgeDominatingSet(g, d),
+	}
+	if bound != nil {
+		resp.Bound = bound.String()
+	}
+	if includeEdges {
+		resp.EdgeList = make([][2]int, 0, d.Count())
+		for _, idx := range d.Indices() {
+			e := g.Edge(idx)
+			resp.EdgeList = append(resp.EdgeList, [2]int{e.U(), e.V()})
+		}
+	}
+	body, err := json.Marshal(resp)
+	if err != nil {
+		return nil, err
+	}
+	return append(body, '\n'), nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.isDraining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Write([]byte("ok\n"))
+}
+
+// statszResponse is the JSON body of GET /statsz.
+type statszResponse struct {
+	Requests struct {
+		Total    int64            `json:"total"`
+		ByStatus map[string]int64 `json:"by_status"`
+	} `json:"requests"`
+	Cache struct {
+		Hits    int64   `json:"hits"`
+		Misses  int64   `json:"misses"`
+		HitRate float64 `json:"hit_rate"`
+		Size    int     `json:"size"`
+	} `json:"cache"`
+	Queue struct {
+		Workers  int `json:"workers"`
+		InFlight int `json:"in_flight"`
+		Depth    int `json:"depth"`
+		Capacity int `json:"capacity"`
+	} `json:"queue"`
+	LatencyMs map[string]histogramSnapshot `json:"latency_ms"`
+	Draining  bool                         `json:"draining"`
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	var resp statszResponse
+	total, byStatus, hits, misses, perAlg := s.st.snapshot()
+	resp.Requests.Total = total
+	resp.Requests.ByStatus = byStatus
+	resp.Cache.Hits = hits
+	resp.Cache.Misses = misses
+	if hits+misses > 0 {
+		resp.Cache.HitRate = float64(hits) / float64(hits+misses)
+	}
+	resp.Cache.Size = s.cache.len()
+	resp.Queue.Workers = s.cfg.Workers
+	resp.Queue.InFlight = len(s.sem)
+	resp.Queue.Depth = len(s.queue)
+	resp.Queue.Capacity = s.cfg.QueueDepth
+	resp.LatencyMs = perAlg
+	resp.Draining = s.isDraining()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}

@@ -1,0 +1,119 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// histogram is a log-2 latency histogram in milliseconds: bucket k
+// counts observations in [2^(k-1), 2^k) ms (bucket 0 is < 1 ms), with
+// the last bucket absorbing the overflow. Sixteen buckets cover up to
+// ~32 s, past any per-request deadline the server will grant.
+type histogram struct {
+	buckets [16]int64
+	count   int64
+	sumMs   int64
+	maxMs   int64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	ms := d.Milliseconds()
+	k := 0
+	for v := ms; v > 0 && k < len(h.buckets)-1; v >>= 1 {
+		k++
+	}
+	h.buckets[k]++
+	h.count++
+	h.sumMs += ms
+	if ms > h.maxMs {
+		h.maxMs = ms
+	}
+}
+
+// histogramSnapshot is the JSON shape of one histogram in /statsz.
+type histogramSnapshot struct {
+	Count   int64            `json:"count"`
+	MeanMs  float64          `json:"mean_ms"`
+	MaxMs   int64            `json:"max_ms"`
+	Buckets map[string]int64 `json:"buckets,omitempty"`
+}
+
+func (h *histogram) snapshot() histogramSnapshot {
+	s := histogramSnapshot{Count: h.count, MaxMs: h.maxMs, Buckets: map[string]int64{}}
+	if h.count > 0 {
+		s.MeanMs = float64(h.sumMs) / float64(h.count)
+	}
+	for k, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		label := "<1ms"
+		if k > 0 {
+			label = fmt.Sprintf("<%dms", 1<<k)
+		}
+		if k == len(h.buckets)-1 {
+			label = fmt.Sprintf(">=%dms", 1<<(k-1))
+		}
+		s.Buckets[label] = c
+	}
+	return s
+}
+
+// stats aggregates the serving metrics exposed at /statsz. One mutex is
+// plenty: every field is touched once per request, far off any hot path.
+type stats struct {
+	mu          sync.Mutex
+	requests    int64
+	byStatus    map[int]int64
+	cacheHits   int64
+	cacheMisses int64
+	perAlg      map[string]*histogram
+}
+
+func newStats() *stats {
+	return &stats{byStatus: map[int]int64{}, perAlg: map[string]*histogram{}}
+}
+
+func (s *stats) recordStatus(code int) {
+	s.mu.Lock()
+	s.requests++
+	s.byStatus[code]++
+	s.mu.Unlock()
+}
+
+func (s *stats) recordCache(hit bool) {
+	s.mu.Lock()
+	if hit {
+		s.cacheHits++
+	} else {
+		s.cacheMisses++
+	}
+	s.mu.Unlock()
+}
+
+func (s *stats) recordLatency(alg string, d time.Duration) {
+	s.mu.Lock()
+	h := s.perAlg[alg]
+	if h == nil {
+		h = &histogram{}
+		s.perAlg[alg] = h
+	}
+	h.observe(d)
+	s.mu.Unlock()
+}
+
+// snapshot returns the /statsz payload fragments owned by stats.
+func (s *stats) snapshot() (requests int64, byStatus map[string]int64, hits, misses int64, perAlg map[string]histogramSnapshot) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	byStatus = make(map[string]int64, len(s.byStatus))
+	for code, c := range s.byStatus {
+		byStatus[fmt.Sprintf("%d", code)] = c
+	}
+	perAlg = make(map[string]histogramSnapshot, len(s.perAlg))
+	for alg, h := range s.perAlg {
+		perAlg[alg] = h.snapshot()
+	}
+	return s.requests, byStatus, s.cacheHits, s.cacheMisses, perAlg
+}

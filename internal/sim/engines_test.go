@@ -10,11 +10,13 @@
 package sim_test
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"reflect"
 	"runtime"
 	"testing"
+	"time"
 
 	"eds/internal/core"
 	"eds/internal/gen"
@@ -147,6 +149,194 @@ func TestShardCountInvariance(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestTraceCrossEngineEquivalence runs every corpus workload with a
+// trace attached on both hook-capable engines and demands the identical
+// round-by-round profile. This is the contract that lets -profile and
+// the figures pipeline use the sharded engine on graphs too large for
+// the sequential reference.
+func TestTraceCrossEngineEquivalence(t *testing.T) {
+	for _, ng := range equivalenceCorpus(t) {
+		for _, alg := range algorithmsFor(ng.g) {
+			t.Run(ng.name+"/"+alg.Name(), func(t *testing.T) {
+				seqTrace, seqOpt := sim.NewTrace()
+				if _, err := sim.RunSequential(ng.g, alg, seqOpt); err != nil {
+					t.Fatalf("sequential: %v", err)
+				}
+				shTrace, shOpt := sim.NewTrace()
+				if _, err := sim.RunSharded(ng.g, alg, shOpt, sim.WithShards(runtime.NumCPU())); err != nil {
+					t.Fatalf("sharded: %v", err)
+				}
+				if !reflect.DeepEqual(seqTrace.Rounds, shTrace.Rounds) {
+					t.Errorf("traces diverge:\nsequential: %v\nsharded:    %v", seqTrace.Rounds, shTrace.Rounds)
+				}
+			})
+		}
+	}
+}
+
+// TestAutoHonoursHookAboveThreshold pins the fix for the silent
+// fallback: RunAuto above AutoShardedThreshold used to reroute hooked
+// runs to the sequential engine because the sharded engine dropped the
+// hook. Now the sharded engine drives the hook itself, so an auto run on
+// a large graph must produce the full trace.
+func TestAutoHonoursHookAboveThreshold(t *testing.T) {
+	n := sim.AutoShardedThreshold + 10
+	g := gen.Cycle(n)
+	tr, opt := sim.NewTrace()
+	res, err := sim.RunAuto(g, core.PortOne{}, opt)
+	if err != nil {
+		t.Fatalf("RunAuto: %v", err)
+	}
+	if len(tr.Rounds) != res.Rounds {
+		t.Fatalf("trace has %d rounds, result says %d", len(tr.Rounds), res.Rounds)
+	}
+	if tr.TotalMessages() != res.Messages {
+		t.Fatalf("trace counted %d messages, result says %d", tr.TotalMessages(), res.Messages)
+	}
+	// Cross-check against the sequential reference on the same graph.
+	refTrace, refOpt := sim.NewTrace()
+	if _, err := sim.RunSequential(g, core.PortOne{}, refOpt); err != nil {
+		t.Fatalf("sequential: %v", err)
+	}
+	if !reflect.DeepEqual(refTrace.Rounds, tr.Rounds) {
+		t.Errorf("auto trace diverges from sequential reference")
+	}
+}
+
+// cancelSendAlg never terminates on its own but cancels the attached
+// context from Send at a fixed round — a deterministic mid-run
+// cancellation point that exists identically in every engine.
+type cancelSendAlg struct {
+	cancel  context.CancelFunc
+	atRound int
+}
+
+func (a cancelSendAlg) Name() string { return "cancel-send" }
+func (a cancelSendAlg) NewNode(degree int) sim.Node {
+	return &cancelSendNode{deg: degree, alg: a}
+}
+
+type cancelSendNode struct {
+	deg int
+	alg cancelSendAlg
+}
+
+func (n *cancelSendNode) Send(round int) []sim.Message {
+	if round >= n.alg.atRound {
+		n.alg.cancel()
+	}
+	return make([]sim.Message, n.deg)
+}
+func (n *cancelSendNode) Receive(round int, inbox []sim.Message) {}
+func (n *cancelSendNode) Done() bool                             { return false }
+func (n *cancelSendNode) Output() []int                          { return nil }
+
+// awaitBaselineGoroutines waits for the goroutine count to return to the
+// pre-run baseline, failing the test if it does not: a canceled engine
+// must not leak its workers.
+func awaitBaselineGoroutines(t *testing.T, label string, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Errorf("%s: %d goroutines still alive, baseline %d", label, runtime.NumGoroutine(), base)
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestCancellationParity checks the WithContext contract on all three
+// engines: cancel-before-start, cancel-mid-run, and deadline-exceeded
+// must surface the identical error (wrapping ErrCanceled plus the
+// context cause) from every engine, return no Result, and leak no
+// goroutines. Run under -race this also proves the cancellation path is
+// race-free.
+func TestCancellationParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := gen.MustRandomRegular(rng, 20, 3)
+
+	check := func(t *testing.T, mkCtx func() context.Context, mkAlg func(context.CancelFunc) sim.Algorithm,
+		wantCause error, opts ...sim.Option) {
+		t.Helper()
+		base := runtime.NumGoroutine()
+		var msgs []string
+		for _, e := range engines() {
+			ctx := mkCtx()
+			cancel := func() {}
+			var alg sim.Algorithm = stuckAlg{}
+			if mkAlg != nil {
+				var ccancel context.CancelFunc
+				ctx, ccancel = context.WithCancel(ctx)
+				alg = mkAlg(ccancel)
+				cancel = ccancel
+			}
+			res, err := e.run(g, alg, append([]sim.Option{sim.WithContext(ctx)}, opts...)...)
+			cancel()
+			if res != nil {
+				t.Errorf("%s: got a Result alongside cancellation", e.name)
+			}
+			if !errors.Is(err, sim.ErrCanceled) {
+				t.Fatalf("%s: err = %v, want ErrCanceled", e.name, err)
+			}
+			if wantCause != nil && !errors.Is(err, wantCause) {
+				t.Errorf("%s: err = %v, want cause %v", e.name, err, wantCause)
+			}
+			msgs = append(msgs, err.Error())
+			awaitBaselineGoroutines(t, e.name, base)
+		}
+		for _, m := range msgs[1:] {
+			if m != msgs[0] {
+				t.Errorf("cancellation errors differ across engines: %q vs %q", msgs[0], m)
+			}
+		}
+	}
+
+	t.Run("CancelBeforeStart", func(t *testing.T) {
+		check(t, func() context.Context {
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			return ctx
+		}, nil, context.Canceled)
+	})
+	t.Run("DeadlineAlreadyExceeded", func(t *testing.T) {
+		check(t, func() context.Context {
+			ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+			_ = cancel // ctx is already expired; engines never see Done undone
+			return ctx
+		}, nil, context.DeadlineExceeded)
+	})
+	t.Run("CancelMidRun", func(t *testing.T) {
+		check(t, context.Background,
+			func(cancel context.CancelFunc) sim.Algorithm {
+				return cancelSendAlg{cancel: cancel, atRound: 3}
+			}, context.Canceled)
+	})
+	t.Run("DeadlineMidRun", func(t *testing.T) {
+		// A live deadline against an algorithm that never terminates:
+		// each engine must notice at a round barrier and return well
+		// within the test's patience, not after 100k rounds.
+		base := runtime.NumGoroutine()
+		for _, e := range engines() {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+			start := time.Now()
+			_, err := e.run(g, stuckAlg{}, sim.WithContext(ctx), sim.WithMaxRounds(1<<30))
+			elapsed := time.Since(start)
+			cancel()
+			if !errors.Is(err, sim.ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("%s: err = %v, want ErrCanceled wrapping DeadlineExceeded", e.name, err)
+			}
+			if elapsed > 5*time.Second {
+				t.Errorf("%s: took %v to notice a 30ms deadline", e.name, elapsed)
+			}
+			awaitBaselineGoroutines(t, e.name, base)
+		}
+	})
 }
 
 // stuckAlg never terminates; every engine must surface ErrRoundLimit.

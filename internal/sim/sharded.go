@@ -17,13 +17,13 @@ const AutoShardedThreshold = 4096
 
 // RunAuto picks an engine by graph size — the sequential reference at or
 // below AutoShardedThreshold nodes, the sharded engine above it — and is
-// the single home of that policy for the facade, the CLI, and the
-// harness studies. Every engine returns identical Results, so the choice
-// affects only wall-clock time. One exception: a run carrying a
-// WithRoundHook always takes the sequential engine, whatever the size,
-// because it is the only engine that honours the hook.
+// the single home of that policy for the facade, the CLI, the server,
+// and the harness studies. Every engine returns identical Results, so
+// the choice affects only wall-clock time; both engines honour
+// WithRoundHook and WithContext, so hooked or cancellable runs take the
+// same path as any other.
 func RunAuto(g *graph.Graph, a Algorithm, opts ...Option) (*Result, error) {
-	if g.N() > AutoShardedThreshold && buildConfig(opts).roundHook == nil {
+	if g.N() > AutoShardedThreshold {
 		return RunSharded(g, a, opts...)
 	}
 	return RunSequential(g, a, opts...)
@@ -61,9 +61,16 @@ func WithShards(p int) Option {
 // channels and no per-round allocation — so the engine runs within a
 // small constant factor of memory bandwidth on million-node graphs.
 // Results are bit-identical to RunSequential for every shard count.
-// WithRoundHook is not honoured (use the sequential engine for traces).
+//
+// WithRoundHook is honoured: the hook observes the flat outbox through
+// per-node subslices, invoked between the send and receive barriers
+// where no worker goroutine is running, so it sees exactly the matrix
+// the sequential engine would show (retired nodes' slots are nil).
 func RunSharded(g *graph.Graph, a Algorithm, opts ...Option) (*Result, error) {
 	c := buildConfig(opts)
+	if err := c.ctxErr(a); err != nil {
+		return nil, err
+	}
 	n := g.N()
 	p := c.shards
 	if p <= 0 {
@@ -121,8 +128,22 @@ func RunSharded(g *graph.Graph, a Algorithm, opts ...Option) (*Result, error) {
 		stats[s].pending = pending
 	})
 
+	// The hook's view of the outbox: one subslice per node, built once.
+	// Between the send and receive barriers the workers are joined, so
+	// handing the buffers to the hook is race-free.
+	var hookView [][]Message
+	if c.roundHook != nil {
+		hookView = make([][]Message, n)
+		for v := 0; v < n; v++ {
+			hookView[v] = outbox[off[v]:off[v+1]:off[v+1]]
+		}
+	}
+
 	res := &Result{}
 	for round := 0; ; round++ {
+		if err := c.ctxErr(a); err != nil {
+			return nil, err
+		}
 		pending := 0
 		for s := range stats {
 			pending += stats[s].pending
@@ -170,6 +191,9 @@ func RunSharded(g *graph.Graph, a Algorithm, opts ...Option) (*Result, error) {
 				return nil, stats[s].err
 			}
 			res.Messages += stats[s].sent
+		}
+		if c.roundHook != nil {
+			c.roundHook(round, hookView)
 		}
 
 		runPhase(func(s, lo, hi int) {

@@ -8,9 +8,8 @@
 // on every input (a cross-engine property suite in engines_test.go
 // enforces it):
 //
-//   - RunSequential is the deterministic single-threaded reference. It is
-//     the only engine honouring WithRoundHook, and the engine of choice
-//     for traces, figures, and debugging.
+//   - RunSequential is the deterministic single-threaded reference and
+//     the engine of choice for debugging.
 //   - RunConcurrent runs one goroutine per node and routes messages over
 //     capacity-1 channels — the natural Go embedding of the model, useful
 //     as a semantic stress test of the round structure. Its per-node
@@ -22,6 +21,12 @@
 //     fastest engine on large graphs and the scaling path for
 //     million-node runs; see sharded.go.
 //
+// WithRoundHook (traces, figures) is honoured by the sequential and
+// sharded engines. WithContext makes any engine cancellable: the context
+// is polled at every round barrier and a canceled or expired run returns
+// an error wrapping ErrCanceled plus the context's cause, with no
+// goroutine left behind.
+//
 // A node is retired as soon as Done reports true after a Receive: no
 // engine calls Send or Receive on a retired node, so mixed-termination
 // schedules (e.g. degree-dependent scripts on irregular graphs) execute
@@ -29,6 +34,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -83,12 +89,33 @@ type Result struct {
 // which for the paper's algorithms indicates a protocol bug.
 var ErrRoundLimit = errors.New("sim: round limit exceeded")
 
+// ErrCanceled is returned when a run attached to a context (WithContext)
+// is canceled or exceeds its deadline. The returned error also wraps the
+// context's cause, so errors.Is(err, context.Canceled) and
+// errors.Is(err, context.DeadlineExceeded) distinguish the two. Every
+// engine checks the context at the same points — once on entry and once
+// at the top of every round — so all engines report the identical error
+// for the same execution.
+var ErrCanceled = errors.New("sim: run canceled")
+
 const defaultMaxRounds = 100_000
 
 type config struct {
+	ctx       context.Context
 	maxRounds int
 	roundHook func(round int, sent [][]Message)
 	shards    int
+}
+
+// ctxErr reports the cancellation error to surface, or nil if the run's
+// context (if any) is still live. The message is deterministic — no
+// round counts or timestamps — so concurrent engines agree with the
+// sequential reference byte for byte.
+func (c *config) ctxErr(a Algorithm) error {
+	if c.ctx == nil || c.ctx.Err() == nil {
+		return nil
+	}
+	return fmt.Errorf("%w: algorithm %q: %w", ErrCanceled, a.Name(), context.Cause(c.ctx))
 }
 
 // Option customises an execution.
@@ -101,10 +128,24 @@ func WithMaxRounds(n int) Option {
 
 // WithRoundHook installs a callback invoked after the send phase of every
 // round with the full message matrix (sent[v][i-1] = message sent by v on
-// port i). Only the sequential engine honours the hook; it is meant for
-// traces and figures.
+// port i). The sequential and sharded engines honour the hook — the
+// sharded engine presents its flat outbox through per-node subslices and
+// invokes the hook between the send and receive barriers, where no worker
+// is running — so traces and figures work at every graph scale. The
+// concurrent engine does not support hooks (its messages never exist in
+// one place). The hook must treat the matrix as read-only and must not
+// retain it across rounds.
 func WithRoundHook(fn func(round int, sent [][]Message)) Option {
 	return func(c *config) { c.roundHook = fn }
+}
+
+// WithContext attaches a context to the run. Every engine checks the
+// context once on entry and once at the top of every round; when it is
+// canceled or its deadline passes, the engine stops, releases all of its
+// goroutines, and returns an error wrapping both ErrCanceled and the
+// context's cause. A nil ctx is ignored.
+func WithContext(ctx context.Context) Option {
+	return func(c *config) { c.ctx = ctx }
 }
 
 func buildConfig(opts []Option) config {
@@ -119,6 +160,9 @@ func buildConfig(opts []Option) config {
 // single-threaded engine.
 func RunSequential(g *graph.Graph, a Algorithm, opts ...Option) (*Result, error) {
 	c := buildConfig(opts)
+	if err := c.ctxErr(a); err != nil {
+		return nil, err
+	}
 	n := g.N()
 	nodes := make([]Node, n)
 	done := make([]bool, n)
@@ -133,6 +177,9 @@ func RunSequential(g *graph.Graph, a Algorithm, opts ...Option) (*Result, error)
 	}
 	res := &Result{}
 	for round := 0; ; round++ {
+		if err := c.ctxErr(a); err != nil {
+			return nil, err
+		}
 		// Full scan, no early break: every node reporting Done must have
 		// its flag set before the send phase, or a retired node with a
 		// shorter schedule than a still-running peer would be asked to
@@ -205,6 +252,9 @@ func RunSequential(g *graph.Graph, a Algorithm, opts ...Option) (*Result, error)
 // node's view is deterministic regardless of scheduling.
 func RunConcurrent(g *graph.Graph, a Algorithm, opts ...Option) (*Result, error) {
 	c := buildConfig(opts)
+	if err := c.ctxErr(a); err != nil {
+		return nil, err
+	}
 	n := g.N()
 	nodes := make([]Node, n)
 	for v := 0; v < n; v++ {
@@ -310,6 +360,13 @@ func RunConcurrent(g *graph.Graph, a Algorithm, opts ...Option) (*Result, error)
 	}
 	res := &Result{}
 	for round := 0; ; round++ {
+		// Same barrier as the other engines: the workers are parked at
+		// the round-start gate, so stopAll's false signal releases them
+		// all and no goroutine outlives the call.
+		if err := c.ctxErr(a); err != nil {
+			stopAll()
+			return nil, err
+		}
 		allDone := true
 		for v := 0; v < n; v++ {
 			if !nodes[v].Done() {

@@ -8,8 +8,11 @@ import (
 
 // Trace records the message profile of an execution round by round:
 // how many messages were sent and of which payload types. Attach it to a
-// sequential run with its Option; it is the machinery behind the
-// per-phase communication profiles in the experiment reports.
+// sequential, sharded, or auto run with its Option; it is the machinery
+// behind the per-phase communication profiles in the experiment reports.
+// Traces are engine-independent: the sharded engine produces the exact
+// trace the sequential reference would (a property test in
+// engines_test.go enforces it).
 type Trace struct {
 	Rounds []RoundTrace
 }
@@ -22,7 +25,8 @@ type RoundTrace struct {
 }
 
 // NewTrace returns an empty trace and the option that attaches it to a
-// run. Only the sequential engine supports tracing.
+// run. The sequential and sharded engines (and RunAuto, which only ever
+// picks between the two) support tracing; the concurrent engine does not.
 func NewTrace() (*Trace, Option) {
 	t := &Trace{}
 	return t, WithRoundHook(func(round int, sent [][]Message) {

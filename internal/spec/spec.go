@@ -1,4 +1,10 @@
-package main
+// Package spec parses the textual graph and algorithm specifications
+// shared by the command-line tools (edsrun) and the serving layer
+// (internal/server, cmd/edsd): compact strings like "regular:n=20,d=3"
+// or "general:7" that name a graph family or an algorithm with its
+// parameters. Keeping the grammar in one package guarantees the CLI and
+// the server accept exactly the same specs.
+package spec
 
 import (
 	"fmt"
@@ -15,9 +21,13 @@ import (
 	"eds/internal/sim"
 )
 
-// parseGraph builds the graph described by spec. For the lower-bound
-// families it also returns the known optimal edge dominating set.
-func parseGraph(spec string, seed int64) (*graph.Graph, *graph.EdgeSet, error) {
+// Graph builds the graph described by spec. For the lower-bound families
+// it also returns the known optimal edge dominating set.
+//
+// Families: cycle:N, path:N, complete:N, hypercube:DIM, torus:RxC,
+// petersen, matching:K, regular:n=N,d=D, bounded:n=N,delta=D, tree:N,
+// evenlb:d=D, oddlb:d=D, file:PATH.
+func Graph(spec string, seed int64) (*graph.Graph, *graph.EdgeSet, error) {
 	name, arg, _ := strings.Cut(spec, ":")
 	if name == "file" {
 		f, err := os.Open(arg)
@@ -76,9 +86,12 @@ func parseGraph(spec string, seed int64) (*graph.Graph, *graph.EdgeSet, error) {
 	}
 }
 
-// parseAlg resolves the algorithm spec against the graph, returning the
+// Algorithm resolves the algorithm spec against the graph, returning the
 // worst-case guarantee when one applies.
-func parseAlg(spec string, g *graph.Graph) (sim.Algorithm, *ratio.R, error) {
+//
+// Specs: auto, portone, regularodd, regularodd-nopruning, general
+// (uses the graph's max degree), general:DELTA, alledges, idmatching.
+func Algorithm(spec string, g *graph.Graph) (sim.Algorithm, *ratio.R, error) {
 	name, arg, _ := strings.Cut(spec, ":")
 	bound := func(r ratio.R) *ratio.R { return &r }
 	switch name {

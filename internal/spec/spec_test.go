@@ -1,4 +1,4 @@
-package main
+package spec
 
 import (
 	"strings"
@@ -7,7 +7,7 @@ import (
 	"eds/internal/graph"
 )
 
-func TestParseGraphFamilies(t *testing.T) {
+func TestGraphFamilies(t *testing.T) {
 	tests := []struct {
 		spec    string
 		n, m    int
@@ -30,7 +30,7 @@ func TestParseGraphFamilies(t *testing.T) {
 	}
 	for _, tc := range tests {
 		t.Run(tc.spec, func(t *testing.T) {
-			g, opt, err := parseGraph(tc.spec, 1)
+			g, opt, err := Graph(tc.spec, 1)
 			if tc.wantErr {
 				if err == nil {
 					t.Fatal("want error")
@@ -38,7 +38,7 @@ func TestParseGraphFamilies(t *testing.T) {
 				return
 			}
 			if err != nil {
-				t.Fatalf("parseGraph: %v", err)
+				t.Fatalf("Graph: %v", err)
 			}
 			if g.N() != tc.n || g.M() != tc.m {
 				t.Errorf("got n=%d m=%d, want n=%d m=%d", g.N(), g.M(), tc.n, tc.m)
@@ -50,16 +50,16 @@ func TestParseGraphFamilies(t *testing.T) {
 	}
 }
 
-func TestParseAlg(t *testing.T) {
-	cycle, _, err := parseGraph("cycle:6", 1)
+func TestAlgorithm(t *testing.T) {
+	cycle, _, err := Graph("cycle:6", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	k4, _, err := parseGraph("complete:4", 1)
+	k4, _, err := Graph("complete:4", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	path, _, err := parseGraph("path:5", 1)
+	path, _, err := Graph("path:5", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +81,7 @@ func TestParseAlg(t *testing.T) {
 	}
 	for _, tc := range tests {
 		t.Run(tc.name, func(t *testing.T) {
-			alg, _, err := parseAlg(tc.spec, tc.g)
+			alg, _, err := Algorithm(tc.spec, tc.g)
 			if tc.wantErr {
 				if err == nil {
 					t.Fatal("want error")
@@ -89,7 +89,7 @@ func TestParseAlg(t *testing.T) {
 				return
 			}
 			if err != nil {
-				t.Fatalf("parseAlg: %v", err)
+				t.Fatalf("Algorithm: %v", err)
 			}
 			if !strings.HasPrefix(alg.Name(), tc.want) {
 				t.Errorf("algorithm = %s, want %s", alg.Name(), tc.want)
