@@ -70,10 +70,11 @@ func main() {
 	case "sequential":
 		res, err = sim.RunSequential(g, alg, traceOpts()...)
 	case "concurrent":
-		if *profile {
-			fatalUsage("-profile is not supported by the concurrent engine")
-		}
-		res, err = sim.RunConcurrent(g, alg)
+		// The concurrent engine rejects hooked runs with a documented
+		// sim.ErrHookUnsupported; passing the trace option through keeps
+		// the CLI aligned with the engine's contract instead of
+		// duplicating the policy here.
+		res, err = sim.RunConcurrent(g, alg, traceOpts()...)
 	case "sharded":
 		res, err = sim.RunSharded(g, alg, append(traceOpts(), sim.WithShards(*shards))...)
 	default:
@@ -89,9 +90,4 @@ func main() {
 		fmt.Println("\ncommunication profile:")
 		fmt.Print(trace.String())
 	}
-}
-
-func fatalUsage(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "edsrun: "+format+"\n", args...)
-	os.Exit(2)
 }

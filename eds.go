@@ -74,6 +74,11 @@ var (
 	// canceled or times out; the error also wraps context.Canceled or
 	// context.DeadlineExceeded accordingly.
 	ErrCanceled = sim.ErrCanceled
+	// ErrHookUnsupported is returned by RunConcurrent when a round hook
+	// (e.g. a trace) is attached: the concurrent engine has no barrier
+	// window in which a consistent outbox exists. Hooked runs belong on
+	// Run, RunSharded, or RunAuto.
+	ErrHookUnsupported = sim.ErrHookUnsupported
 )
 
 // WithContext makes a run cancellable: every engine polls the context at
@@ -172,7 +177,8 @@ func Run(g *Graph, a Algorithm, opts ...Option) (*EdgeSet, *Result, error) {
 
 // RunConcurrent executes the algorithm with one goroutine per node and
 // capacity-1 channels carrying the messages, then returns the selected
-// edge set. The result is always identical to Run's.
+// edge set. The result is always identical to Run's. Runs with a round
+// hook attached fail with ErrHookUnsupported.
 func RunConcurrent(g *Graph, a Algorithm, opts ...Option) (*EdgeSet, *Result, error) {
 	return runWith(sim.RunConcurrent, g, a, opts...)
 }

@@ -1,0 +1,68 @@
+// Package analysis is a deliberately small, dependency-free mirror of
+// the golang.org/x/tools/go/analysis API: an Analyzer inspects one
+// type-checked package through a Pass and reports Diagnostics.
+//
+// The build environment of this repository is offline — the module
+// cache holds nothing beyond the standard library — so the real
+// x/tools framework cannot be imported. The subset here (Analyzer,
+// Pass, Diagnostic, Pass.Reportf) is API-compatible with the fields the
+// edsvet analyzers use, which keeps a future migration to the upstream
+// framework a matter of changing import paths.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check. Name is the identifier used in
+// diagnostics and //lint:ignore suppressions; Doc is the one-paragraph
+// description shown by `edsvet -help`.
+type Analyzer struct {
+	Name string
+	Doc  string
+
+	// Run applies the check to one package and reports findings through
+	// pass.Report. The returned value is unused by the edsvet driver but
+	// kept in the signature for x/tools compatibility.
+	Run func(pass *Pass) (any, error)
+}
+
+// Pass is one (analyzer, package) unit of work: the package's syntax,
+// its type information, and a sink for diagnostics.
+type Pass struct {
+	Analyzer *Analyzer
+
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// TypeOf returns the type of expression e, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.TypesInfo.TypeOf(e)
+}
+
+// ObjectOf returns the object denoted by ident, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if o := p.TypesInfo.ObjectOf(id); o != nil {
+		return o
+	}
+	return nil
+}

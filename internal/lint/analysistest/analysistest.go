@@ -1,0 +1,99 @@
+// Package analysistest runs one analyzer over a fixture package and
+// checks its diagnostics against expectations embedded in the fixture
+// source, mirroring golang.org/x/tools/go/analysis/analysistest:
+//
+//	bad := time.Now() // want `nondeterministic`
+//
+// A `// want` comment declares that the analyzer must report a
+// diagnostic on that line whose message matches the backquoted regular
+// expression; several expectations may be chained on one line. Every
+// diagnostic must be wanted and every want must be matched, so fixtures
+// pin both the positive and the negative behaviour of an analyzer.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+
+	"eds/internal/lint/analysis"
+	"eds/internal/lint/checker"
+	"eds/internal/lint/loader"
+)
+
+var wantRE = regexp.MustCompile("// want ((?:`[^`]*`\\s*)+)")
+
+// Run loads the fixture package in dir (resolving imports against the
+// module rooted at moduleDir) and applies the analyzer, failing the test
+// on any mismatch between reported diagnostics and `// want`
+// expectations. It returns the findings for additional assertions.
+func Run(t *testing.T, moduleDir, dir string, a *analysis.Analyzer) []checker.Finding {
+	t.Helper()
+	pkg, err := loader.LoadDir(moduleDir, dir, "fixture/"+a.Name)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	findings, err := checker.Run([]*loader.Package{pkg}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*regexp.Regexp{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					if strings.Contains(c.Text, "want ") && strings.Contains(c.Text, "`") {
+						t.Errorf("%s: malformed want comment: %s", pkg.Fset.Position(c.Pos()), c.Text)
+					}
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				k := key{pos.Filename, pos.Line}
+				for _, raw := range strings.Split(m[1], "`") {
+					raw = strings.TrimSpace(raw)
+					if raw == "" {
+						continue
+					}
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, raw, err)
+					}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+	}
+
+	matched := map[string]bool{}
+	for _, f := range findings {
+		k := key{f.Pos.Filename, f.Pos.Line}
+		ok := false
+		for i, re := range wants[k] {
+			id := fmt.Sprintf("%s:%d:%d", k.file, k.line, i)
+			if !matched[id] && re.MatchString(f.Message) {
+				matched[id] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", f)
+		}
+	}
+	for k, res := range wants {
+		for i, re := range res {
+			id := fmt.Sprintf("%s:%d:%d", k.file, k.line, i)
+			if !matched[id] {
+				t.Errorf("%s:%d: want diagnostic matching %q, got none", k.file, k.line, re)
+			}
+		}
+	}
+	return findings
+}

@@ -1,0 +1,149 @@
+// Package checker applies a set of analyzers to loaded packages,
+// honours inline suppressions, and renders findings in the familiar
+// `go vet` file:line:column format.
+//
+// Suppression follows the staticcheck convention:
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// placed either on the offending line or on the line directly above it.
+// The reason is mandatory — a suppression without a written
+// justification is itself reported — so every deliberate violation of
+// an invariant is documented where it happens.
+package checker
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+
+	"eds/internal/lint/analysis"
+	"eds/internal/lint/loader"
+)
+
+// Finding is one diagnostic from one analyzer, with its position
+// resolved.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// suppression is one parsed //lint:ignore directive.
+type suppression struct {
+	analyzers map[string]bool
+	pos       token.Position
+	used      bool
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// findings sorted by position. Malformed or unused suppressions are
+// reported as findings of the pseudo-analyzer "lint".
+func Run(pkgs []*loader.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		sups, bad := collectSuppressions(pkg)
+		findings = append(findings, bad...)
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			name := a.Name
+			pass.Report = func(d analysis.Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				if suppressed(sups, name, pos) {
+					return
+				}
+				findings = append(findings, Finding{Analyzer: name, Pos: pos, Message: d.Message})
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("checker: %s on %s: %v", a.Name, pkg.ImportPath, err)
+			}
+		}
+		// A directive that silenced nothing is stale: the violation it
+		// justified is gone, so the justification must go too.
+		for _, fileSups := range sups {
+			for _, s := range fileSups {
+				if !s.used {
+					findings = append(findings, Finding{
+						Analyzer: "lint",
+						Pos:      s.pos,
+						Message:  "unused //lint:ignore directive: no diagnostic matched it; delete the stale suppression",
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// collectSuppressions scans a package's comments for //lint:ignore
+// directives. Directives missing an analyzer name or a reason are
+// returned as findings.
+func collectSuppressions(pkg *loader.Package) (map[string][]*suppression, []Finding) {
+	byFile := map[string][]*suppression{}
+	var bad []Finding
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					bad = append(bad, Finding{
+						Analyzer: "lint",
+						Pos:      pos,
+						Message:  "malformed //lint:ignore: want `//lint:ignore <analyzer> <reason>`",
+					})
+					continue
+				}
+				names := map[string]bool{}
+				for _, n := range strings.Split(fields[0], ",") {
+					names[n] = true
+				}
+				byFile[pos.Filename] = append(byFile[pos.Filename], &suppression{analyzers: names, pos: pos})
+			}
+		}
+	}
+	return byFile, bad
+}
+
+// suppressed reports whether a finding by analyzer at pos is covered by
+// a directive on the same line or the line above.
+func suppressed(sups map[string][]*suppression, analyzer string, pos token.Position) bool {
+	for _, s := range sups[pos.Filename] {
+		if !s.analyzers[analyzer] {
+			continue
+		}
+		if s.pos.Line == pos.Line || s.pos.Line == pos.Line-1 {
+			s.used = true
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,244 @@
+// Package loader type-checks packages of this module for the edsvet
+// analyzers using nothing but the standard library and the go command.
+//
+// The offline build environment rules out golang.org/x/tools/go/packages,
+// so the loader reimplements the slice of it the analyzers need:
+//
+//  1. `go list -e -export -deps -json <patterns>` enumerates the target
+//     packages and, crucially, makes the go command produce compiler
+//     export data for every dependency (stored in the build cache and
+//     reported in the Export field). This works fully offline.
+//  2. Each target package's source files are parsed with go/parser
+//     (comments retained, for //lint:ignore and // want directives).
+//  3. go/types checks each target with importer.ForCompiler("gc") whose
+//     lookup function serves dependencies' export data from step 1 —
+//     the documented escape hatch for toolchains that no longer install
+//     pre-compiled archives under GOROOT/pkg.
+//
+// Only non-test GoFiles are loaded: test files of the repo are linted by
+// the regular test suite and `go vet`, and loading them would drag in
+// the synthetic ".test" dependency graph. Fixture packages under
+// testdata (invisible to ./... patterns by design) are loaded with
+// LoadDir, which resolves their imports through the same export table.
+package loader
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+}
+
+// listEntry is the subset of `go list -json` output the loader reads.
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// exportTable maps import paths to compiler export data files, feeding
+// the type-checker's importer.
+type exportTable map[string]*listEntry
+
+func (t exportTable) lookup(path string) (io.ReadCloser, error) {
+	e, ok := t[path]
+	if !ok || e.Export == "" {
+		return nil, fmt.Errorf("loader: no export data for %q", path)
+	}
+	return os.Open(e.Export)
+}
+
+// goList runs `go list -e -export -deps -json` in dir and returns every
+// reported package keyed by import path, plus the order encountered.
+func goList(dir string, patterns []string) (exportTable, []*listEntry, error) {
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,Standard,DepOnly,Incomplete,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, nil, fmt.Errorf("loader: go list %s: %v\n%s",
+			strings.Join(patterns, " "), err, stderr.String())
+	}
+	table := exportTable{}
+	var order []*listEntry
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		e := new(listEntry)
+		if err := dec.Decode(e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("loader: decoding go list output: %v", err)
+		}
+		table[e.ImportPath] = e
+		order = append(order, e)
+	}
+	return table, order, nil
+}
+
+// Load type-checks the non-test sources of every package matching the
+// patterns (e.g. "./..." or "eds/internal/sim"), resolved relative to
+// moduleDir. Packages are returned sorted by import path.
+func Load(moduleDir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	table, order, err := goList(moduleDir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", table.lookup)
+	var pkgs []*Package
+	for _, e := range order {
+		if e.DepOnly || e.Standard {
+			continue
+		}
+		if e.Error != nil {
+			return nil, fmt.Errorf("loader: %s: %s", e.ImportPath, e.Error.Err)
+		}
+		if len(e.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := check(fset, imp, e.ImportPath, e.Dir, e.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
+	return pkgs, nil
+}
+
+// LoadDir type-checks the single package rooted at dir (typically a
+// fixture under testdata, which package patterns cannot reach). Imports
+// are resolved by asking the go command, from moduleDir, for export
+// data of the fixture's dependencies.
+func LoadDir(moduleDir, dir, importPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("loader: %v", err)
+	}
+	var files []string
+	for _, ent := range entries {
+		if name := ent.Name(); strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			files = append(files, name)
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("loader: no Go files in %s", dir)
+	}
+	sort.Strings(files)
+
+	// Parse first to learn the fixture's imports, then build the export
+	// table for exactly those dependencies (and theirs, via -deps).
+	fset := token.NewFileSet()
+	var syntax []*ast.File
+	importSet := map[string]bool{}
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("loader: %v", err)
+		}
+		syntax = append(syntax, f)
+		for _, spec := range f.Imports {
+			importSet[strings.Trim(spec.Path.Value, `"`)] = true
+		}
+	}
+	table := exportTable{}
+	if len(importSet) > 0 {
+		deps := make([]string, 0, len(importSet))
+		for p := range importSet {
+			deps = append(deps, p)
+		}
+		sort.Strings(deps)
+		var err error
+		table, _, err = goList(moduleDir, deps)
+		if err != nil {
+			return nil, err
+		}
+	}
+	imp := importer.ForCompiler(fset, "gc", table.lookup)
+	return checkFiles(fset, imp, importPath, dir, syntax)
+}
+
+func check(fset *token.FileSet, imp types.Importer, importPath, dir string, names []string) (*Package, error) {
+	var syntax []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("loader: %v", err)
+		}
+		syntax = append(syntax, f)
+	}
+	return checkFiles(fset, imp, importPath, dir, syntax)
+}
+
+func checkFiles(fset *token.FileSet, imp types.Importer, importPath, dir string, syntax []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(importPath, fset, syntax, info)
+	if err != nil {
+		return nil, fmt.Errorf("loader: type-checking %s: %v", importPath, err)
+	}
+	return &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       fset,
+		Files:      syntax,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}, nil
+}
+
+// ModuleDir locates the root directory of the main module enclosing
+// dir, via `go env GOMOD`.
+func ModuleDir(dir string) (string, error) {
+	cmd := exec.Command("go", "env", "GOMOD")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("loader: go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		return "", fmt.Errorf("loader: %s is not inside a module", dir)
+	}
+	return filepath.Dir(gomod), nil
+}

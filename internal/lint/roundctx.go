@@ -1,0 +1,199 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"eds/internal/lint/analysis"
+)
+
+// RoundCtx enforces the cancellation contract shared by all engines
+// (PR 2): a run attached to a context must stop at the next round
+// barrier, and every engine must report the identical error for the
+// identical execution — errors.Is-able against both sim.ErrCanceled and
+// the context cause, with no engine-specific wording. Two classes of
+// drift are reported:
+//
+//   - an engine-shaped function (one returning (*sim.Result, error))
+//     whose round-advancing loop never polls the threaded context —
+//     neither the shared (*config).ctxErr helper nor ctx.Err()/
+//     ctx.Done(). Such an engine runs to completion after its caller
+//     has gone away, which the server's deadline tests only catch when
+//     the race falls their way;
+//
+//   - cancellation errors built outside the shared wrapper: returning
+//     ctx.Err() or context.Cause(ctx) raw, or fmt.Errorf calls that
+//     wrap the context error without also wrapping ErrCanceled. Raw
+//     context errors differ from the other engines' byte-for-byte,
+//     breaking the error-parity half of the equivalence contract and
+//     the server's ErrCanceled-based status mapping.
+var RoundCtx = &analysis.Analyzer{
+	Name: "roundctx",
+	Doc:  "flag engine round loops that skip context polling and cancellation errors built outside the shared ErrCanceled wrapper",
+	Run:  runRoundCtx,
+}
+
+func runRoundCtx(pass *analysis.Pass) (any, error) {
+	sim := simPackage(pass.Pkg)
+	var resultType types.Type
+	if sim != nil {
+		resultType = simNamedType(sim, "Result")
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil && resultType != nil && isEngineShaped(pass, n, resultType) {
+					checkRoundLoops(pass, n.Body)
+				}
+			case *ast.ReturnStmt:
+				for _, res := range n.Results {
+					if isRawContextError(pass, res) {
+						pass.Reportf(res.Pos(), "raw context error returned: build cancellation errors through the shared ErrCanceled wrapper ((*config).ctxErr) so every engine reports the identical error")
+					}
+				}
+			case *ast.CallExpr:
+				checkErrorfWrap(pass, n)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isEngineShaped reports whether fn returns (*sim.Result, error) — the
+// signature shared by every engine entry point and the hook the
+// analyzer uses to find round loops worth checking.
+func isEngineShaped(pass *analysis.Pass, fn *ast.FuncDecl, resultType types.Type) bool {
+	obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	results := obj.Signature().Results()
+	if results.Len() != 2 {
+		return false
+	}
+	ptr, ok := results.At(0).Type().(*types.Pointer)
+	if !ok || !types.Identical(ptr.Elem(), resultType) {
+		return false
+	}
+	return results.At(1).Type().String() == "error"
+}
+
+// checkRoundLoops reports for-loops that advance a round counter
+// without polling the context.
+func checkRoundLoops(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		loop, ok := n.(*ast.ForStmt)
+		if !ok || !advancesRound(loop) {
+			return true
+		}
+		if !pollsContext(pass, loop.Body) {
+			pass.Reportf(loop.Pos(), "round loop never polls the run context: engines must check cancellation at every round barrier (call (*config).ctxErr, ctx.Err, or select on ctx.Done)")
+		}
+		return true
+	})
+}
+
+// advancesRound detects the engines' round-loop idiom: a for statement
+// whose init or post statement drives a variable named "round".
+func advancesRound(loop *ast.ForStmt) bool {
+	named := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == "round"
+	}
+	switch post := loop.Post.(type) {
+	case *ast.IncDecStmt:
+		if named(post.X) {
+			return true
+		}
+	case *ast.AssignStmt:
+		for _, lhs := range post.Lhs {
+			if named(lhs) {
+				return true
+			}
+		}
+	}
+	if init, ok := loop.Init.(*ast.AssignStmt); ok {
+		for _, lhs := range init.Lhs {
+			if named(lhs) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// pollsContext reports whether the loop body contains a recognised
+// cancellation check.
+func pollsContext(pass *analysis.Pass, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			if fun.Name == "ctxErr" {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			switch fun.Sel.Name {
+			case "ctxErr":
+				found = true
+			case "Err", "Done":
+				if t := pass.TypeOf(fun.X); t != nil && isContextType(t) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isRawContextError reports whether e is ctx.Err() or
+// context.Cause(...) used directly.
+func isRawContextError(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if sel.Sel.Name == "Err" {
+		if t := pass.TypeOf(sel.X); t != nil && isContextType(t) {
+			return true
+		}
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Cause"
+}
+
+// checkErrorfWrap reports fmt.Errorf calls that wrap a context error
+// without also wrapping ErrCanceled.
+func checkErrorfWrap(pass *analysis.Pass, call *ast.CallExpr) {
+	obj := calleeObject(pass.TypesInfo, call)
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "fmt" || obj.Name() != "Errorf" {
+		return
+	}
+	wrapsCtx := false
+	wrapsCanceled := false
+	for _, arg := range call.Args {
+		if isRawContextError(pass, arg) {
+			wrapsCtx = true
+		}
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && id.Name == "ErrCanceled" {
+				wrapsCanceled = true
+			}
+			return !wrapsCanceled
+		})
+	}
+	if wrapsCtx && !wrapsCanceled {
+		pass.Reportf(call.Pos(), "cancellation error wraps the context cause but not ErrCanceled: engines and callers match on errors.Is(err, sim.ErrCanceled); use the shared wrapper")
+	}
+}

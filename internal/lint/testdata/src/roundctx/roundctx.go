@@ -1,0 +1,80 @@
+// Package roundctx is the roundctx fixture: engine-shaped functions
+// (returning (*sim.Result, error)) whose round loops and error paths
+// drift from the cancellation contract, next to a compliant engine.
+// A non-polling engine passes every equivalence test — results are
+// unaffected — and only misbehaves when a caller abandons a live run,
+// which is why the invariant needs a static check.
+package roundctx
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"eds/internal/graph"
+	"eds/internal/sim"
+)
+
+// ErrCanceled mirrors the shared wrapper an engine package would
+// declare (the real one is sim.ErrCanceled).
+var ErrCanceled = errors.New("roundctx fixture: run canceled")
+
+// RunNoPoll advances rounds without ever consulting the context: once
+// started it cannot be stopped, so server deadlines and client
+// disconnects are silently ignored.
+func RunNoPoll(ctx context.Context, g *graph.Graph, a sim.Algorithm) (*sim.Result, error) {
+	res := &sim.Result{}
+	for round := 0; round < 100; round++ { // want `never polls the run context`
+		res.Rounds = round + 1
+	}
+	return res, nil
+}
+
+// RunRawError polls, but surfaces the naked context error: the other
+// engines wrap ErrCanceled, so error parity across engines is broken.
+func RunRawError(ctx context.Context, g *graph.Graph, a sim.Algorithm) (*sim.Result, error) {
+	res := &sim.Result{}
+	for round := 0; round < 100; round++ {
+		if ctx.Err() != nil {
+			return nil, ctx.Err() // want `raw context error returned`
+		}
+		res.Rounds = round + 1
+	}
+	return res, nil
+}
+
+// RunBadWrap wraps the context cause but forgets the shared sentinel,
+// so errors.Is(err, sim.ErrCanceled) fails for this engine only.
+func RunBadWrap(ctx context.Context, g *graph.Graph, a sim.Algorithm) (*sim.Result, error) {
+	res := &sim.Result{}
+	for round := 0; round < 100; round++ {
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("stopped at round %d: %w", round, context.Cause(ctx)) // want `not ErrCanceled`
+		}
+		res.Rounds = round + 1
+	}
+	return res, nil
+}
+
+// RunCompliant is the lawful shape: poll every round, wrap both the
+// shared sentinel and the context cause.
+func RunCompliant(ctx context.Context, g *graph.Graph, a sim.Algorithm) (*sim.Result, error) {
+	res := &sim.Result{}
+	for round := 0; round < 100; round++ {
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("%w: algorithm %q: %w", ErrCanceled, a.Name(), context.Cause(ctx))
+		}
+		res.Rounds = round + 1
+	}
+	return res, nil
+}
+
+// sumRounds is not engine-shaped: a plain round-counting loop in
+// reporting code carries no cancellation obligation.
+func sumRounds(traces []*sim.Result) int {
+	total := 0
+	for round := 0; round < len(traces); round++ {
+		total += traces[round].Rounds
+	}
+	return total
+}

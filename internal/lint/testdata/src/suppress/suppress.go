@@ -1,0 +1,15 @@
+// Package suppress exercises the //lint:ignore mechanism: an identical
+// violation appears twice, once with a justified suppression (no
+// diagnostic may surface) and once bare (the diagnostic must survive).
+package suppress
+
+import "context"
+
+func sanctioned(ctx context.Context) error {
+	//lint:ignore roundctx test helper compared against the raw cause on purpose
+	return ctx.Err()
+}
+
+func unsanctioned(ctx context.Context) error {
+	return ctx.Err() // want `raw context error returned`
+}

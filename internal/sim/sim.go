@@ -22,10 +22,13 @@
 //     million-node runs; see sharded.go.
 //
 // WithRoundHook (traces, figures) is honoured by the sequential and
-// sharded engines. WithContext makes any engine cancellable: the context
-// is polled at every round barrier and a canceled or expired run returns
-// an error wrapping ErrCanceled plus the context's cause, with no
-// goroutine left behind.
+// sharded engines; the concurrent engine has no barrier window in which
+// a consistent whole-round outbox exists, so it rejects hooked runs
+// eagerly with ErrHookUnsupported instead of silently dropping the
+// hook. WithContext makes any engine cancellable: the context is polled
+// at every round barrier and a canceled or expired run returns an error
+// wrapping ErrCanceled plus the context's cause, with no goroutine left
+// behind.
 //
 // A node is retired as soon as Done reports true after a Receive: no
 // engine calls Send or Receive on a retired node, so mixed-termination
@@ -98,6 +101,16 @@ var ErrRoundLimit = errors.New("sim: round limit exceeded")
 // for the same execution.
 var ErrCanceled = errors.New("sim: run canceled")
 
+// ErrHookUnsupported is returned by an engine that cannot honour
+// WithRoundHook. Today only the concurrent engine reports it: with one
+// goroutine per node and messages parked in per-port channels, there is
+// no moment at which a consistent whole-round outbox exists for a hook
+// to observe. The error is returned eagerly — before any node state or
+// goroutine is created — so a hooked run never silently loses its
+// trace; use the sequential or sharded engine (or RunAuto, which only
+// picks between those two) for traces and figures.
+var ErrHookUnsupported = errors.New("sim: engine does not support round hooks")
+
 const defaultMaxRounds = 100_000
 
 type config struct {
@@ -133,8 +146,11 @@ func WithMaxRounds(n int) Option {
 // invokes the hook between the send and receive barriers, where no worker
 // is running — so traces and figures work at every graph scale. The
 // concurrent engine does not support hooks (its messages never exist in
-// one place). The hook must treat the matrix as read-only and must not
-// retain it across rounds.
+// one place) and returns ErrHookUnsupported when one is set. The hook
+// must treat the matrix as read-only and must not retain it across
+// rounds: the sharded engine's rows are views of a flat buffer that is
+// recycled at the next barrier (the outboxalias analyzer in
+// internal/lint enforces this mechanically).
 func WithRoundHook(fn func(round int, sent [][]Message)) Option {
 	return func(c *config) { c.roundHook = fn }
 }
@@ -252,6 +268,9 @@ func RunSequential(g *graph.Graph, a Algorithm, opts ...Option) (*Result, error)
 // node's view is deterministic regardless of scheduling.
 func RunConcurrent(g *graph.Graph, a Algorithm, opts ...Option) (*Result, error) {
 	c := buildConfig(opts)
+	if c.roundHook != nil {
+		return nil, fmt.Errorf("%w: algorithm %q: the concurrent engine has no barrier window in which the outbox is globally consistent; run hooks on the sequential or sharded engine", ErrHookUnsupported, a.Name())
+	}
 	if err := c.ctxErr(a); err != nil {
 		return nil, err
 	}

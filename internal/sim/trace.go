@@ -26,7 +26,8 @@ type RoundTrace struct {
 
 // NewTrace returns an empty trace and the option that attaches it to a
 // run. The sequential and sharded engines (and RunAuto, which only ever
-// picks between the two) support tracing; the concurrent engine does not.
+// picks between the two) support tracing; the concurrent engine rejects
+// traced runs with ErrHookUnsupported.
 func NewTrace() (*Trace, Option) {
 	t := &Trace{}
 	return t, WithRoundHook(func(round int, sent [][]Message) {
