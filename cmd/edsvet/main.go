@@ -15,9 +15,15 @@
 //
 // Usage:
 //
-//	go run ./cmd/edsvet ./...        # whole module (the CI invocation)
+//	go run ./cmd/edsvet ./...            # whole module incl. tests (the CI invocation)
 //	go run ./cmd/edsvet ./internal/sim ./internal/server
-//	go run ./cmd/edsvet -list        # describe the analyzers
+//	go run ./cmd/edsvet -test=false ./...  # non-test sources only
+//	go run ./cmd/edsvet -list            # describe the analyzers
+//
+// Test files are linted by default: round hooks and Receive callbacks
+// written inside _test.go files handle the same engine-owned buffers as
+// production code, so they get the same outboxalias (and sibling)
+// scrutiny. -test=false restores the sources-only view.
 //
 // Findings print in the `file:line:col: analyzer: message` format; the
 // exit status is 1 when any finding survives its suppressions, 2 when
@@ -39,8 +45,9 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "describe the analyzers and exit")
+	tests := flag.Bool("test", true, "also lint _test.go files (in-package and external test packages)")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: edsvet [-list] [package patterns]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: edsvet [-list] [-test=false] [package patterns]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -61,7 +68,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "edsvet:", err)
 		os.Exit(2)
 	}
-	pkgs, err := loader.Load(mod, patterns...)
+	load := loader.Load
+	if *tests {
+		load = loader.LoadTests
+	}
+	pkgs, err := load(mod, patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "edsvet:", err)
 		os.Exit(2)

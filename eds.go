@@ -58,6 +58,17 @@ type (
 	EdgeSet = graph.EdgeSet
 	// Algorithm is a distributed algorithm in the port-numbering model.
 	Algorithm = sim.Algorithm
+	// Node is one node's state machine: Send produces the round's
+	// outgoing messages, Receive consumes the incoming ones.
+	Node = sim.Node
+	// Message is one message on one port; nil means "no message".
+	Message = sim.Message
+	// BufferedNode is the optional zero-allocation extension of Node:
+	// SendInto writes the round's messages directly into an
+	// engine-owned buffer instead of returning a fresh slice. Engines
+	// detect it once per run; the buffer must not be retained past the
+	// call (see CONTRIBUTING.md and the outboxalias analyzer).
+	BufferedNode = sim.BufferedNode
 	// Result carries the statistics of one execution.
 	Result = sim.Result
 	// Option customises an execution (context, round budget, shards).

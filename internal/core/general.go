@@ -97,6 +97,10 @@ func (a General) NewNode(degree int) sim.Node {
 		inP:          make([]bool, degree),
 		nbrCovered:   make([]bool, degree),
 		proposedPort: -1,
+		// Both scratch lists hold at most one entry per port; sizing them
+		// up front keeps every proposal round allocation-free.
+		eligible:      make([]int, 0, degree),
+		proposalPorts: make([]int, 0, degree),
 	}
 	node := &scriptNode{deg: degree}
 	node.steps = append(node.steps, labelExchangeStep(st.pairState))
@@ -159,15 +163,13 @@ func phaseIIStatusStep(st *generalNode, i int) step {
 // white neighbour.
 func phaseIIProposeStep(st *generalNode) step {
 	return step{
-		send: func() []sim.Message {
+		send: func(buf []sim.Message) {
 			st.proposedPort = -1
 			if st.matched || st.ptr >= len(st.eligible) {
-				return nil
+				return
 			}
 			st.proposedPort = st.eligible[st.ptr]
-			msgs := make([]sim.Message, st.deg)
-			msgs[st.proposedPort] = msgProposal{}
-			return msgs
+			buf[st.proposedPort] = msgProposal{}
 		},
 		recv: func(inbox []sim.Message) {
 			collectProposals(st, inbox)
@@ -182,11 +184,12 @@ func phaseIIProposeStep(st *generalNode) step {
 // iteration is covered by M and must reject.
 func phaseIIAnswerStep(st *generalNode) step {
 	return step{
-		send: func() []sim.Message {
+		send: func(buf []sim.Message) {
 			if st.covered() {
-				return rejectAll(st)
+				rejectAll(st, buf)
+				return
 			}
-			return answerProposals(st, func(accepted int) {
+			answerProposals(st, buf, func(accepted int) {
 				st.inSet[accepted] = true
 			})
 		},
@@ -232,15 +235,13 @@ func phaseIIIStatusStep(st *generalNode) step {
 // yet proposes along its next H-port.
 func phaseIIIProposeStep(st *generalNode) step {
 	return step{
-		send: func() []sim.Message {
+		send: func(buf []sim.Message) {
 			st.proposedPort = -1
 			if st.covered() || st.sentAccepted || st.ptr >= len(st.eligible) {
-				return nil
+				return
 			}
 			st.proposedPort = st.eligible[st.ptr]
-			msgs := make([]sim.Message, st.deg)
-			msgs[st.proposedPort] = msgProposal{}
-			return msgs
+			buf[st.proposedPort] = msgProposal{}
 		},
 		recv: func(inbox []sim.Message) {
 			collectProposals(st, inbox)
@@ -253,11 +254,12 @@ func phaseIIIProposeStep(st *generalNode) step {
 // act on the answers. Accepted edges form the 2-matching P.
 func phaseIIIAnswerStep(st *generalNode) step {
 	return step{
-		send: func() []sim.Message {
+		send: func(buf []sim.Message) {
 			if st.acceptedIncoming {
-				return rejectAll(st)
+				rejectAll(st, buf)
+				return
 			}
-			return answerProposals(st, func(accepted int) {
+			answerProposals(st, buf, func(accepted int) {
 				st.inP[accepted] = true
 				st.acceptedIncoming = true
 			})
@@ -280,14 +282,12 @@ func phaseIIIAnswerStep(st *generalNode) step {
 }
 
 // statusBroadcast sends the node's M-coverage flag on every port.
-func statusBroadcast(st *generalNode) func() []sim.Message {
-	return func() []sim.Message {
-		msgs := make([]sim.Message, st.deg)
+func statusBroadcast(st *generalNode) func(buf []sim.Message) {
+	return func(buf []sim.Message) {
 		cov := st.covered()
-		for idx := range msgs {
-			msgs[idx] = msgStatus{Covered: cov}
+		for idx := range buf {
+			buf[idx] = msgStatus{Covered: cov}
 		}
-		return msgs
 	}
 }
 
@@ -312,30 +312,26 @@ func collectProposals(st *generalNode, inbox []sim.Message) {
 }
 
 // answerProposals accepts the smallest-port proposal (invoking onAccept
-// with the 0-based port) and rejects the rest. With no proposals it sends
-// nothing.
-func answerProposals(st *generalNode, onAccept func(accepted int)) []sim.Message {
+// with the 0-based port) and rejects the rest, writing the answers into
+// the round's send buffer. With no proposals it sends nothing.
+func answerProposals(st *generalNode, buf []sim.Message, onAccept func(accepted int)) {
 	if len(st.proposalPorts) == 0 {
-		return nil
+		return
 	}
-	msgs := make([]sim.Message, st.deg)
 	accepted := st.proposalPorts[0] // smallest port: inbox scanned in order
 	onAccept(accepted)
-	msgs[accepted] = msgAnswer{Accept: true}
+	buf[accepted] = msgAnswer{Accept: true}
 	for _, idx := range st.proposalPorts[1:] {
-		msgs[idx] = msgAnswer{Accept: false}
+		buf[idx] = msgAnswer{Accept: false}
 	}
-	return msgs
 }
 
 // rejectAll rejects every proposal received this cycle.
-func rejectAll(st *generalNode) []sim.Message {
+func rejectAll(st *generalNode, buf []sim.Message) {
 	if len(st.proposalPorts) == 0 {
-		return nil
+		return
 	}
-	msgs := make([]sim.Message, st.deg)
 	for _, idx := range st.proposalPorts {
-		msgs[idx] = msgAnswer{Accept: false}
+		buf[idx] = msgAnswer{Accept: false}
 	}
-	return msgs
 }

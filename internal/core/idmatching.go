@@ -73,7 +73,10 @@ type idNode struct {
 	round       int
 }
 
-var _ sim.Node = (*idNode)(nil)
+var (
+	_ sim.Node         = (*idNode)(nil)
+	_ sim.BufferedNode = (*idNode)(nil)
+)
 
 func (n *idNode) matched() bool { return n.matchedPort >= 0 }
 
@@ -87,16 +90,20 @@ func (n *idNode) hasActiveNeighbour() bool {
 	return false
 }
 
-func (n *idNode) Send(round int) []sim.Message {
-	msgs := make([]sim.Message, n.deg)
+// SendInto implements sim.BufferedNode, writing the round's messages
+// straight into the engine-owned buffer. Only the ID-exchange round
+// boxes a payload-carrying message (msgID); the steady-state status and
+// point rounds box zero- and bool-sized values, which Go interns, so
+// they allocate nothing.
+func (n *idNode) SendInto(round int, buf []sim.Message) {
 	switch {
 	case n.round == 0:
-		for i := range msgs {
-			msgs[i] = msgID{ID: n.id}
+		for i := range buf {
+			buf[i] = msgID{ID: n.id}
 		}
 	case (n.round-1)%2 == 0: // status
-		for i := range msgs {
-			msgs[i] = msgIDStatus{Matched: n.matched()}
+		for i := range buf {
+			buf[i] = msgIDStatus{Matched: n.matched()}
 		}
 	default: // point
 		n.pointedAt = -1
@@ -112,10 +119,17 @@ func (n *idNode) Send(round int) []sim.Message {
 			}
 			if best >= 0 {
 				n.pointedAt = best
-				msgs[best] = msgPoint{}
+				buf[best] = msgPoint{}
 			}
 		}
 	}
+}
+
+// Send implements the legacy allocation path; the engines prefer
+// SendInto.
+func (n *idNode) Send(round int) []sim.Message {
+	msgs := make([]sim.Message, n.deg)
+	n.SendInto(round, msgs)
 	return msgs
 }
 

@@ -56,12 +56,10 @@ func (st *pairState) degInSet() int {
 // distinguishable port follows locally (Section 5).
 func labelExchangeStep(st *pairState) step {
 	return step{
-		send: func() []sim.Message {
-			msgs := make([]sim.Message, st.deg)
-			for idx := range msgs {
-				msgs[idx] = msgLabel{Port: idx + 1, Deg: st.deg}
+		send: func(buf []sim.Message) {
+			for idx := range buf {
+				buf[idx] = msgLabel{Port: idx + 1, Deg: st.deg}
 			}
-			return msgs
 		},
 		recv: func(inbox []sim.Message) {
 			for idx, m := range inbox {
@@ -96,13 +94,11 @@ func addOnlyIfNeitherCovered(p, r bool) bool { return !p && !r }
 // matching, making the parallel decisions independent.
 func phaseIAddSteps(st *pairState, i, j int, rule addRule) []step {
 	propose := step{
-		send: func() []sim.Message {
+		send: func(buf []sim.Message) {
 			if st.dp != i || st.dpPeer != j {
-				return nil
+				return
 			}
-			msgs := make([]sim.Message, st.deg)
-			msgs[i-1] = msgPropose{Covered: st.covered()}
-			return msgs
+			buf[i-1] = msgPropose{Covered: st.covered()}
 		},
 		recv: func(inbox []sim.Message) {
 			st.gotProposal = false
@@ -115,17 +111,15 @@ func phaseIAddSteps(st *pairState, i, j int, rule addRule) []step {
 		},
 	}
 	respond := step{
-		send: func() []sim.Message {
+		send: func(buf []sim.Message) {
 			if !st.gotProposal {
-				return nil
+				return
 			}
 			add := rule(st.propCovered, st.covered())
-			msgs := make([]sim.Message, st.deg)
-			msgs[j-1] = msgRespond{Add: add}
+			buf[j-1] = msgRespond{Add: add}
 			if add {
 				st.inSet[j-1] = true
 			}
-			return msgs
 		},
 		recv: func(inbox []sim.Message) {
 			if st.dp == i && st.dpPeer == j {
@@ -145,13 +139,11 @@ func phaseIAddSteps(st *pairState, i, j int, rule addRule) []step {
 // edge is removed exactly when both do.
 func phaseIIPruneSteps(st *pairState, i, j int) []step {
 	probe := step{
-		send: func() []sim.Message {
+		send: func(buf []sim.Message) {
 			if st.dp != i || st.dpPeer != j || !st.inSet[i-1] {
-				return nil
+				return
 			}
-			msgs := make([]sim.Message, st.deg)
-			msgs[i-1] = msgProbe{OtherCovered: st.degInSet() >= 2}
-			return msgs
+			buf[i-1] = msgProbe{OtherCovered: st.degInSet() >= 2}
 		},
 		recv: func(inbox []sim.Message) {
 			st.gotProbe = false
@@ -164,17 +156,15 @@ func phaseIIPruneSteps(st *pairState, i, j int) []step {
 		},
 	}
 	respond := step{
-		send: func() []sim.Message {
+		send: func(buf []sim.Message) {
 			if !st.gotProbe {
-				return nil
+				return
 			}
 			remove := st.probeOther && st.degInSet() >= 2
-			msgs := make([]sim.Message, st.deg)
-			msgs[j-1] = msgProbeRespond{Remove: remove}
+			buf[j-1] = msgProbeRespond{Remove: remove}
 			if remove {
 				st.inSet[j-1] = false
 			}
-			return msgs
 		},
 		recv: func(inbox []sim.Message) {
 			if st.dp == i && st.dpPeer == j {

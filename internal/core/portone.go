@@ -27,12 +27,10 @@ func (PortOne) NewNode(degree int) sim.Node {
 	chosen := make([]bool, degree)
 	n := &scriptNode{deg: degree}
 	n.steps = []step{{
-		send: func() []sim.Message {
-			msgs := make([]sim.Message, degree)
+		send: func(buf []sim.Message) {
 			if degree >= 1 {
-				msgs[0] = msgMark{}
+				buf[0] = msgMark{}
 			}
-			return msgs
 		},
 		recv: func(inbox []sim.Message) {
 			if degree >= 1 {

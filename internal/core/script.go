@@ -4,11 +4,14 @@ import (
 	"eds/internal/sim"
 )
 
-// step is one synchronous round of a node's protocol: send composes the
-// outgoing messages (nil entries are empty messages), recv consumes the
-// round's inbox.
+// step is one synchronous round of a node's protocol: send writes the
+// outgoing messages into a degree-length buffer that arrives all-nil
+// (nil entries are empty messages; a nil send is a silent round), recv
+// consumes the round's inbox. The buffer is engine-owned — send must not
+// retain it or any subslice past its return (the outboxalias analyzer
+// enforces this mechanically).
 type step struct {
-	send func() []sim.Message
+	send func(buf []sim.Message)
 	recv func(inbox []sim.Message)
 }
 
@@ -23,17 +26,26 @@ type scriptNode struct {
 	output func() []int
 }
 
-var _ sim.Node = (*scriptNode)(nil)
+var (
+	_ sim.Node         = (*scriptNode)(nil)
+	_ sim.BufferedNode = (*scriptNode)(nil)
+)
 
-func (s *scriptNode) Send(round int) []sim.Message {
-	if out := s.steps[s.pc].send; out != nil {
-		msgs := out()
-		if msgs == nil {
-			msgs = make([]sim.Message, s.deg)
-		}
-		return msgs
+// SendInto implements sim.BufferedNode: the engines hand scriptNode its
+// outbox window directly, so a steady-state round of every scripted
+// algorithm allocates nothing.
+func (s *scriptNode) SendInto(round int, buf []sim.Message) {
+	if send := s.steps[s.pc].send; send != nil {
+		send(buf)
 	}
-	return make([]sim.Message, s.deg)
+}
+
+// Send implements the legacy allocation path; the engines prefer
+// SendInto and only call this through the fallback for plain sim.Nodes.
+func (s *scriptNode) Send(round int) []sim.Message {
+	msgs := make([]sim.Message, s.deg)
+	s.SendInto(round, msgs)
+	return msgs
 }
 
 func (s *scriptNode) Receive(round int, inbox []sim.Message) {

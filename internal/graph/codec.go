@@ -19,7 +19,7 @@ import (
 // of the edsrun tool's -graph file:PATH option and the edsd server's
 // request body. The output is canonical: a fixed line order with no
 // comments or extra whitespace, so byte equality of two WriteTo outputs
-// is graph equality (the edsd result cache keys on it).
+// is graph equality.
 func WriteTo(w io.Writer, g *Graph) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "nodes %d\n", g.N())

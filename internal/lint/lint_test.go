@@ -2,6 +2,7 @@ package lint_test
 
 import (
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"eds/internal/lint"
@@ -70,20 +71,45 @@ func TestAnalyzerMetadata(t *testing.T) {
 }
 
 // TestRepoClean is the meta-test behind the CI gate: the full suite
-// over every package of this module must come back empty, so any new
-// finding fails the build until it is fixed or carries a justified
-// //lint:ignore.
+// over every package of this module — test files included — must come
+// back empty, so any new finding fails the build until it is fixed or
+// carries a justified //lint:ignore.
 func TestRepoClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checks the whole module; skipped under -short")
 	}
 	mod := moduleDir(t)
-	pkgs, err := loader.Load(mod, "./...")
+	pkgs, err := loader.LoadTests(mod, "./...")
 	if err != nil {
 		t.Fatalf("loading module packages: %v", err)
 	}
 	if len(pkgs) < 10 {
 		t.Fatalf("suspiciously few packages loaded (%d): loader lost coverage", len(pkgs))
+	}
+	// The point of LoadTests is that _test.go files are in scope: the
+	// sim package must come back with its test files merged in, and its
+	// external test package must be a unit of its own. Silent fallback
+	// to sources-only would pass the clean check while linting nothing
+	// new.
+	var simHasTests, simExternal bool
+	for _, pkg := range pkgs {
+		switch pkg.ImportPath {
+		case "eds/internal/sim":
+			for _, f := range pkg.Files {
+				name := pkg.Fset.Position(f.Pos()).Filename
+				if strings.HasSuffix(name, "_test.go") {
+					simHasTests = true
+				}
+			}
+		case "eds/internal/sim_test":
+			simExternal = true
+		}
+	}
+	if !simHasTests {
+		t.Errorf("eds/internal/sim loaded without its in-package test files")
+	}
+	if !simExternal {
+		t.Errorf("external test package eds/internal/sim_test not loaded")
 	}
 	findings, err := checker.Run(pkgs, lint.Analyzers())
 	if err != nil {

@@ -15,11 +15,19 @@
 //     the documented escape hatch for toolchains that no longer install
 //     pre-compiled archives under GOROOT/pkg.
 //
-// Only non-test GoFiles are loaded: test files of the repo are linted by
-// the regular test suite and `go vet`, and loading them would drag in
-// the synthetic ".test" dependency graph. Fixture packages under
-// testdata (invisible to ./... patterns by design) are loaded with
-// LoadDir, which resolves their imports through the same export table.
+// Load covers non-test GoFiles; LoadTests additionally loads _test.go
+// files via `go list -test`, which reports each test-bearing package
+// three extra ways: the augmented variant "p [p.test]" (package files
+// plus in-package test files), the external test package
+// "p_test [p.test]", and the synthetic test main "p.test". LoadTests
+// checks the first two — resolving their imports through the per-entry
+// ImportMap, which redirects e.g. "eds/internal/sim" to its augmented
+// variant — and skips the synthetic main (its GoFiles are generated
+// stubs in the build cache). When an augmented variant is present its
+// plain sibling is skipped, so each file is linted exactly once.
+// Fixture packages under testdata (invisible to ./... patterns by
+// design) are loaded with LoadDir, which resolves their imports through
+// the same export table and includes in-package _test.go files.
 package loader
 
 import (
@@ -58,6 +66,8 @@ type listEntry struct {
 	Standard   bool
 	DepOnly    bool
 	Incomplete bool
+	ForTest    string            // plain import path this test variant was built for
+	ImportMap  map[string]string // source import path -> resolved (possibly test-variant) path
 	Error      *struct{ Err string }
 }
 
@@ -75,11 +85,16 @@ func (t exportTable) lookup(path string) (io.ReadCloser, error) {
 
 // goList runs `go list -e -export -deps -json` in dir and returns every
 // reported package keyed by import path, plus the order encountered.
-func goList(dir string, patterns []string) (exportTable, []*listEntry, error) {
-	args := append([]string{
-		"list", "-e", "-export", "-deps",
-		"-json=ImportPath,Dir,Export,GoFiles,Standard,DepOnly,Incomplete,Error",
-	}, patterns...)
+// With tests set it adds -test, so the table also holds export data for
+// the augmented "[p.test]" variants that test packages import.
+func goList(dir string, tests bool, patterns []string) (exportTable, []*listEntry, error) {
+	args := []string{"list", "-e", "-export", "-deps"}
+	if tests {
+		args = append(args, "-test")
+	}
+	args = append(args,
+		"-json=ImportPath,Dir,Export,GoFiles,Standard,DepOnly,Incomplete,ForTest,ImportMap,Error")
+	args = append(args, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
 	var stderr bytes.Buffer
@@ -109,18 +124,49 @@ func goList(dir string, patterns []string) (exportTable, []*listEntry, error) {
 // patterns (e.g. "./..." or "eds/internal/sim"), resolved relative to
 // moduleDir. Packages are returned sorted by import path.
 func Load(moduleDir string, patterns ...string) ([]*Package, error) {
+	return load(moduleDir, false, patterns)
+}
+
+// LoadTests is Load with _test.go files included: each test-bearing
+// package is checked as its augmented "[p.test]" variant (package files
+// plus in-package test files), and external test packages ("p_test")
+// are checked as packages of their own. Reported ImportPaths are the
+// plain paths — the "[p.test]" suffix is an implementation detail of
+// the go command.
+func LoadTests(moduleDir string, patterns ...string) ([]*Package, error) {
+	return load(moduleDir, true, patterns)
+}
+
+func load(moduleDir string, tests bool, patterns []string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	table, order, err := goList(moduleDir, patterns)
+	table, order, err := goList(moduleDir, tests, patterns)
 	if err != nil {
 		return nil, err
 	}
+	// Plain packages shadowed by an augmented test variant are skipped:
+	// the variant contains a superset of their files, and checking both
+	// would report every finding in the shared files twice.
+	augmented := map[string]bool{}
+	for _, e := range order {
+		if !e.DepOnly && !e.Standard && e.ForTest != "" && !strings.HasSuffix(e.ImportPath, ".test") {
+			augmented[e.ForTest] = true
+		}
+	}
 	fset := token.NewFileSet()
-	imp := importer.ForCompiler(fset, "gc", table.lookup)
+	shared := importer.ForCompiler(fset, "gc", table.lookup)
 	var pkgs []*Package
 	for _, e := range order {
 		if e.DepOnly || e.Standard {
+			continue
+		}
+		if strings.HasSuffix(e.ImportPath, ".test") {
+			// Synthetic test main: its only GoFiles are generated stubs
+			// in the build cache, nothing of ours to lint.
+			continue
+		}
+		if e.ForTest == "" && augmented[e.ImportPath] {
 			continue
 		}
 		if e.Error != nil {
@@ -129,7 +175,20 @@ func Load(moduleDir string, patterns ...string) ([]*Package, error) {
 		if len(e.GoFiles) == 0 {
 			continue
 		}
-		pkg, err := check(fset, imp, e.ImportPath, e.Dir, e.GoFiles)
+		imp := shared
+		if len(e.ImportMap) > 0 {
+			// Test variants import other packages through a private map
+			// (e.g. "eds/internal/sim" resolves to the augmented variant
+			// compiled with its test files). A per-entry importer keeps
+			// those redirected packages out of the shared cache.
+			imp = importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+				if mapped, ok := e.ImportMap[path]; ok {
+					path = mapped
+				}
+				return table.lookup(path)
+			})
+		}
+		pkg, err := check(fset, imp, plainPath(e.ImportPath), e.Dir, e.GoFiles)
 		if err != nil {
 			return nil, err
 		}
@@ -139,10 +198,22 @@ func Load(moduleDir string, patterns ...string) ([]*Package, error) {
 	return pkgs, nil
 }
 
+// plainPath strips the go command's test-variant marker:
+// "p [p.test]" -> "p".
+func plainPath(importPath string) string {
+	if i := strings.IndexByte(importPath, ' '); i >= 0 {
+		return importPath[:i]
+	}
+	return importPath
+}
+
 // LoadDir type-checks the single package rooted at dir (typically a
 // fixture under testdata, which package patterns cannot reach). Imports
 // are resolved by asking the go command, from moduleDir, for export
-// data of the fixture's dependencies.
+// data of the fixture's dependencies. In-package _test.go files are
+// included, mirroring LoadTests, so fixtures can plant violations in
+// test code too; external ("package p_test") fixture files are not
+// supported — they would be a second package in the same directory.
 func LoadDir(moduleDir, dir, importPath string) (*Package, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -150,7 +221,7 @@ func LoadDir(moduleDir, dir, importPath string) (*Package, error) {
 	}
 	var files []string
 	for _, ent := range entries {
-		if name := ent.Name(); strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+		if name := ent.Name(); strings.HasSuffix(name, ".go") {
 			files = append(files, name)
 		}
 	}
@@ -169,6 +240,9 @@ func LoadDir(moduleDir, dir, importPath string) (*Package, error) {
 		if err != nil {
 			return nil, fmt.Errorf("loader: %v", err)
 		}
+		if strings.HasSuffix(name, "_test.go") && strings.HasSuffix(f.Name.Name, "_test") {
+			return nil, fmt.Errorf("loader: %s: external test package fixtures are not supported", filepath.Join(dir, name))
+		}
 		syntax = append(syntax, f)
 		for _, spec := range f.Imports {
 			importSet[strings.Trim(spec.Path.Value, `"`)] = true
@@ -182,7 +256,7 @@ func LoadDir(moduleDir, dir, importPath string) (*Package, error) {
 		}
 		sort.Strings(deps)
 		var err error
-		table, _, err = goList(moduleDir, deps)
+		table, _, err = goList(moduleDir, false, deps)
 		if err != nil {
 			return nil, err
 		}

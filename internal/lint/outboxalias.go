@@ -10,9 +10,12 @@ import (
 
 // OutboxAlias enforces the lifetime contract of the engines' flat
 // message buffers. The sharded engine hands round hooks a zero-copy
-// view of its outbox ([][]sim.Message backed by one flat array) and
-// every engine reuses the inbox slice it passes to Receive; both are
-// overwritten at the next round barrier. Any code that retains such a
+// view of its outbox ([][]sim.Message backed by one flat array), every
+// engine reuses the inbox slice it passes to Receive, and the
+// BufferedNode fast path hands SendInto a window into the pooled flat
+// outbox itself; all are overwritten at the next round barrier, and
+// the pooled buffers outlive the run — a retained SendInto slice can
+// alias a later, unrelated run's outbox. Any code that retains such a
 // slice past the call observes torn, recycled data — and only on the
 // engines that reuse buffers, which is exactly the class of divergence
 // the equivalence suite can miss when the retained data is inspected
@@ -20,8 +23,8 @@ import (
 //
 // Within any function or closure that receives a []sim.Message or
 // [][]sim.Message parameter (hook callbacks, Receive implementations,
-// trace sinks), the analyzer tracks the parameter and its local slice
-// aliases and reports:
+// SendInto implementations, trace sinks), the analyzer tracks the
+// parameter and its local slice aliases and reports:
 //
 //   - stores of an aliased slice into a struct field, map/slice
 //     element, package-level variable, or a variable captured from an

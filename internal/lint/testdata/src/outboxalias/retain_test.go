@@ -1,0 +1,44 @@
+// In-package test fixture: the loader now feeds _test.go files to the
+// analyzers (LoadTests for real packages, LoadDir for fixtures), so a
+// retention bug written inside a test — the most common place to write
+// an ad-hoc round hook — is caught the same way as one in production
+// code.
+package outboxalias
+
+import (
+	"testing"
+
+	"eds/internal/sim"
+)
+
+// captured is the classic test bug this file pins: a hook that saves
+// the matrix to assert on after the run. By then the sharded engine has
+// recycled the backing store into its pool.
+var captured [][]sim.Message
+
+func TestHookRetention(t *testing.T) {
+	hook := func(round int, sent [][]sim.Message) {
+		captured = sent // want `stored outside the callback`
+	}
+	_ = hook
+}
+
+type testRecorder struct {
+	lastInbox []sim.Message
+}
+
+func (r *testRecorder) observe(inbox []sim.Message) {
+	r.lastInbox = inbox // want `stored in a field`
+}
+
+func TestLawfulSnapshot(t *testing.T) {
+	hook := func(round int, sent [][]sim.Message) {
+		// Deep copy before the callback returns: allowed.
+		snap := make([][]sim.Message, len(sent))
+		for v := range sent {
+			snap[v] = append([]sim.Message(nil), sent[v]...)
+		}
+		captured = snap
+	}
+	_ = hook
+}

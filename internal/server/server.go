@@ -109,12 +109,13 @@ func (c Config) withDefaults() Config {
 // Server serves the edsd API. Create one with New and mount Handler on
 // an http.Server (cmd/edsd) or an httptest.Server (tests).
 type Server struct {
-	cfg   Config
-	sem   chan struct{} // worker slots
-	queue chan struct{} // bounded wait queue
-	cache *resultCache
-	st    *stats
-	mux   *http.ServeMux
+	cfg     Config
+	sem     chan struct{} // worker slots
+	queue   chan struct{} // bounded wait queue
+	cache   *resultCache
+	flights *flightGroup
+	st      *stats
+	mux     *http.ServeMux
 
 	draining chan struct{} // closed by StartDraining
 
@@ -131,6 +132,7 @@ func New(cfg Config) *Server {
 		sem:       make(chan struct{}, cfg.Workers),
 		queue:     make(chan struct{}, cfg.QueueDepth),
 		cache:     newResultCache(cfg.CacheEntries),
+		flights:   newFlightGroup(),
 		st:        newStats(),
 		draining:  make(chan struct{}),
 		runEngine: defaultRunEngine,
@@ -255,15 +257,60 @@ func (s *Server) parseRunRequest(r *http.Request) (runRequest, error) {
 	return req, nil
 }
 
-// cacheKey identifies a result: the canonical serialisation of the graph
-// (WriteTo output is canonical, so two wire forms of the same graph
-// collide as they should), the resolved algorithm name (so alg=auto and
-// its resolution share an entry), and the response shape. Engine and
-// shard count are deliberately excluded: every engine returns identical
-// results, which the cross-engine equivalence suite enforces.
-func cacheKey(canonical []byte, algName string, includeEdges bool) string {
-	sum := sha256.Sum256(canonical)
+// The result cache is probed at two levels:
+//
+//	raw key       — sha256 of the request body bytes plus the literal
+//	                ?alg= spec and response shape. Probed before any
+//	                decoding, so a byte-identical replay is served with a
+//	                bounded allocation cost independent of graph size
+//	                (the alloc regression test pins the budget).
+//	canonical key — a digest of the decoded graph's flat structure plus
+//	                the resolved algorithm name. Two wire forms of the
+//	                same graph (comments, whitespace, reordered conn
+//	                lines) decode to identical port-offset and routing
+//	                arrays, so they collide here as they should, as do
+//	                alg=auto and its explicit resolution.
+//
+// Engine and shard count are deliberately excluded from both keys: every
+// engine returns identical results, which the cross-engine equivalence
+// suite enforces.
+func cacheKey(sum [sha256.Size]byte, algName string, includeEdges bool) string {
 	return fmt.Sprintf("%x|%s|%v", sum, algName, includeEdges)
+}
+
+// graphDigest hashes the decoded graph's canonical flat representation:
+// the node count is implied by the port-offset array and the involution
+// by the routing table, which together determine the port-numbered graph
+// exactly.
+func graphDigest(g *graph.Graph) [sha256.Size]byte {
+	h := sha256.New()
+	var buf [8192]byte
+	k := 0
+	flush := func() {
+		h.Write(buf[:k])
+		k = 0
+	}
+	put := func(v int32) {
+		if k == len(buf) {
+			flush()
+		}
+		buf[k+0] = byte(v)
+		buf[k+1] = byte(v >> 8)
+		buf[k+2] = byte(v >> 16)
+		buf[k+3] = byte(v >> 24)
+		k += 4
+	}
+	for _, v := range g.PortOffsets() {
+		put(v)
+	}
+	put(-1) // domain separator between the two arrays
+	for _, v := range g.RoutingTable() {
+		put(v)
+	}
+	flush()
+	var sum [sha256.Size]byte
+	h.Sum(sum[:0])
+	return sum
 }
 
 // acquire admits the request into the worker pool, waiting in the
@@ -314,6 +361,19 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "reading body: %v", err)
 		return
 	}
+
+	// First-level cache probe on the raw bytes: a byte-identical replay
+	// is served without decoding or canonicalising anything.
+	rawKey := cacheKey(sha256.Sum256(body), req.algSpec, req.includeEdges)
+	if cached, ok := s.cache.get(rawKey); ok {
+		s.st.recordCache(true)
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Cache", "hit")
+		w.Write(cached)
+		s.st.recordStatus(http.StatusOK)
+		return
+	}
+
 	g, err := graph.ReadGraphLimits(bytes.NewReader(body), s.cfg.Limits)
 	if err != nil {
 		if errors.Is(err, graph.ErrTooLarge) {
@@ -329,16 +389,14 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Cache probe on the canonical bytes: a hit serves the exact bytes
-	// of the original response without queueing or running anything.
-	var canonical bytes.Buffer
-	if err := graph.WriteTo(&canonical, g); err != nil {
-		s.writeError(w, http.StatusInternalServerError, "canonicalising graph: %v", err)
-		return
-	}
-	key := cacheKey(canonical.Bytes(), alg.Name(), req.includeEdges)
+	// Second-level probe on the canonical structure: a different wire
+	// form (or a different spec resolving to the same algorithm) of an
+	// already-served graph hits here; the raw key is backfilled so the
+	// next byte-identical replay takes the cheap path.
+	key := cacheKey(graphDigest(g), alg.Name(), req.includeEdges)
 	if cached, ok := s.cache.get(key); ok {
 		s.st.recordCache(true)
+		s.cache.put(rawKey, cached)
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("X-Cache", "hit")
 		w.Write(cached)
@@ -348,11 +406,60 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	s.st.recordCache(false)
 
 	// The deadline starts before admission: time spent waiting for a
-	// worker counts against the request's budget.
+	// worker (or for an identical in-flight run) counts against the
+	// request's budget.
 	ctx, cancel := context.WithTimeout(r.Context(), req.timeout)
 	defer cancel()
+
+	// Singleflight on the cache key: the first request for this exact
+	// graph/algorithm/shape leads and runs the engine; duplicates that
+	// arrive while it is in flight wait for its outcome instead of
+	// occupying worker slots of their own. Followers whose leader ended
+	// privately (canceled, timed out, not admitted) loop and take the
+	// lead themselves.
+	for {
+		f, leader := s.flights.join(key)
+		if leader {
+			s.leadRun(ctx, w, req, g, alg, bound, key, rawKey, f)
+			return
+		}
+		select {
+		case <-f.done:
+			res := f.res
+			if res.code == 0 {
+				continue
+			}
+			s.st.recordCoalesced()
+			if res.code == http.StatusOK {
+				w.Header().Set("Content-Type", "application/json")
+				w.Header().Set("X-Cache", "coalesced")
+				w.Write(res.body)
+				s.st.recordStatus(http.StatusOK)
+				return
+			}
+			s.writeError(w, res.code, "%s", res.msg)
+			return
+		case <-ctx.Done():
+			if errors.Is(context.Cause(ctx), context.DeadlineExceeded) {
+				s.writeError(w, http.StatusGatewayTimeout, "request timed out waiting for an identical in-flight run")
+				return
+			}
+			s.writeError(w, StatusClientClosedRequest, "client canceled while waiting for an identical in-flight run")
+			return
+		}
+	}
+}
+
+// leadRun executes a run as the flight leader: it owes the flight
+// exactly one finish on every exit path. Outcomes that depend only on
+// the graph and algorithm (success, round limit, malformed send) are
+// published for the followers; outcomes private to this request's
+// budget (deadline, client gone, admission failure) publish a retry
+// marker instead.
+func (s *Server) leadRun(ctx context.Context, w http.ResponseWriter, req runRequest, g *graph.Graph, alg sim.Algorithm, bound *ratio.R, key, rawKey string, f *flight) {
 	release, code := s.acquire(ctx)
 	if code != 0 {
+		s.flights.finish(key, f, flightResult{})
 		s.writeError(w, code, "request not admitted (%d workers busy, queue of %d full or deadline passed)",
 			s.cfg.Workers, s.cfg.QueueDepth)
 		return
@@ -363,6 +470,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	res, err := s.runEngine(ctx, req.engine, req.shards, g, alg)
 	if err != nil {
 		if errors.Is(err, sim.ErrCanceled) {
+			s.flights.finish(key, f, flightResult{})
 			if errors.Is(err, context.DeadlineExceeded) {
 				s.writeError(w, http.StatusGatewayTimeout, "run exceeded its %s deadline", req.timeout)
 				return
@@ -370,19 +478,25 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			s.writeError(w, StatusClientClosedRequest, "client canceled the run")
 			return
 		}
-		// Round limits, malformed algorithm behaviour: the run failed on
-		// the server's side.
-		s.writeError(w, http.StatusInternalServerError, "%v", err)
+		// Round limits, malformed algorithm behaviour: deterministic for
+		// this graph and algorithm, so the followers share the failure.
+		msg := err.Error()
+		s.flights.finish(key, f, flightResult{code: http.StatusInternalServerError, msg: msg})
+		s.writeError(w, http.StatusInternalServerError, "%s", msg)
 		return
 	}
 	s.st.recordLatency(alg.Name(), time.Since(start))
 
 	respBody, err := buildResponse(g, alg.Name(), bound, res, req.includeEdges)
 	if err != nil {
-		s.writeError(w, http.StatusInternalServerError, "%v", err)
+		msg := err.Error()
+		s.flights.finish(key, f, flightResult{code: http.StatusInternalServerError, msg: msg})
+		s.writeError(w, http.StatusInternalServerError, "%s", msg)
 		return
 	}
 	s.cache.put(key, respBody)
+	s.cache.put(rawKey, respBody)
+	s.flights.finish(key, f, flightResult{code: http.StatusOK, body: respBody})
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Cache", "miss")
 	w.Write(respBody)
@@ -435,10 +549,11 @@ type statszResponse struct {
 		ByStatus map[string]int64 `json:"by_status"`
 	} `json:"requests"`
 	Cache struct {
-		Hits    int64   `json:"hits"`
-		Misses  int64   `json:"misses"`
-		HitRate float64 `json:"hit_rate"`
-		Size    int     `json:"size"`
+		Hits      int64   `json:"hits"`
+		Misses    int64   `json:"misses"`
+		HitRate   float64 `json:"hit_rate"`
+		Size      int     `json:"size"`
+		Coalesced int64   `json:"coalesced"`
 	} `json:"cache"`
 	Queue struct {
 		Workers  int `json:"workers"`
@@ -452,11 +567,12 @@ type statszResponse struct {
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	var resp statszResponse
-	total, byStatus, hits, misses, perAlg := s.st.snapshot()
+	total, byStatus, hits, misses, coalesced, perAlg := s.st.snapshot()
 	resp.Requests.Total = total
 	resp.Requests.ByStatus = byStatus
 	resp.Cache.Hits = hits
 	resp.Cache.Misses = misses
+	resp.Cache.Coalesced = coalesced
 	if hits+misses > 0 {
 		resp.Cache.HitRate = float64(hits) / float64(hits+misses)
 	}

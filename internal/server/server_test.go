@@ -244,25 +244,31 @@ func TestServerSaturationReturns429(t *testing.T) {
 	s, gate, started := gateServer(Config{Workers: 1, QueueDepth: 1, CacheEntries: -1})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
-	body := graphBytes(t, gen.Cycle(8))
+	// Three distinct graphs: identical bodies would coalesce onto one
+	// flight instead of saturating the pool (see TestServerCoalescing).
+	bodies := [][]byte{
+		graphBytes(t, gen.Cycle(8)),
+		graphBytes(t, gen.Cycle(10)),
+		graphBytes(t, gen.Cycle(12)),
+	}
 
 	results := make(chan int, 2)
 	// First request occupies the single worker...
 	go func() {
-		resp, _ := postRun(t, ts.Client(), ts.URL, "", body)
+		resp, _ := postRun(t, ts.Client(), ts.URL, "", bodies[0])
 		results <- resp.StatusCode
 	}()
 	<-started
 	// ...second request fills the queue...
 	go func() {
-		resp, _ := postRun(t, ts.Client(), ts.URL, "", body)
+		resp, _ := postRun(t, ts.Client(), ts.URL, "", bodies[1])
 		results <- resp.StatusCode
 	}()
 	waitFor(t, func() bool { return len(s.queue) == 1 })
 
 	// ...so the third is rejected immediately with 429.
 	start := time.Now()
-	resp, respBody := postRun(t, ts.Client(), ts.URL, "", body)
+	resp, respBody := postRun(t, ts.Client(), ts.URL, "", bodies[2])
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("status = %d, want 429 (body %s)", resp.StatusCode, respBody)
 	}
@@ -398,8 +404,10 @@ func TestServerStatsz(t *testing.T) {
 	if st.Cache.HitRate != 0.5 {
 		t.Errorf("hit_rate = %v, want 0.5", st.Cache.HitRate)
 	}
-	if st.Cache.Size != 1 {
-		t.Errorf("cache size = %d, want 1", st.Cache.Size)
+	// One served result occupies two entries: the raw-body key and the
+	// canonical-structure key.
+	if st.Cache.Size != 2 {
+		t.Errorf("cache size = %d, want 2", st.Cache.Size)
 	}
 	// The torus is 4-regular → portone; its histogram must have the run.
 	h, ok := st.LatencyMs["portone"]

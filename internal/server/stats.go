@@ -68,6 +68,7 @@ type stats struct {
 	byStatus    map[int]int64
 	cacheHits   int64
 	cacheMisses int64
+	coalesced   int64
 	perAlg      map[string]*histogram
 }
 
@@ -92,6 +93,14 @@ func (s *stats) recordCache(hit bool) {
 	s.mu.Unlock()
 }
 
+// recordCoalesced counts a follower served from an identical in-flight
+// run's shared outcome (the singleflight path).
+func (s *stats) recordCoalesced() {
+	s.mu.Lock()
+	s.coalesced++
+	s.mu.Unlock()
+}
+
 func (s *stats) recordLatency(alg string, d time.Duration) {
 	s.mu.Lock()
 	h := s.perAlg[alg]
@@ -104,7 +113,7 @@ func (s *stats) recordLatency(alg string, d time.Duration) {
 }
 
 // snapshot returns the /statsz payload fragments owned by stats.
-func (s *stats) snapshot() (requests int64, byStatus map[string]int64, hits, misses int64, perAlg map[string]histogramSnapshot) {
+func (s *stats) snapshot() (requests int64, byStatus map[string]int64, hits, misses, coalesced int64, perAlg map[string]histogramSnapshot) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	byStatus = make(map[string]int64, len(s.byStatus))
@@ -115,5 +124,5 @@ func (s *stats) snapshot() (requests int64, byStatus map[string]int64, hits, mis
 	for alg, h := range s.perAlg {
 		perAlg[alg] = h.snapshot()
 	}
-	return s.requests, byStatus, s.cacheHits, s.cacheMisses, perAlg
+	return s.requests, byStatus, s.cacheHits, s.cacheMisses, s.coalesced, perAlg
 }

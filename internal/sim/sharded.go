@@ -1,9 +1,7 @@
 package sim
 
 import (
-	"fmt"
 	"runtime"
-	"sync"
 
 	"eds/internal/graph"
 )
@@ -46,10 +44,130 @@ func WithShards(p int) Option {
 	return func(c *config) { c.shards = p }
 }
 
+// Worker phase codes sent over the runState.work channel. phaseStop ends
+// the pool without closing the channel, so a pooled channel survives
+// into the next run.
+const (
+	phaseStop = iota
+	phaseInit
+	phaseSend
+	phaseRecv
+)
+
+// shardedRun is the per-run coordination of the sharded engine: p
+// persistent workers spawned once at run start loop over phase tokens,
+// so a round costs channel operations only — no goroutine spawns, no
+// closures, no allocation. The coordinator writes round between
+// barriers, while every worker is parked on the work channel; the
+// channel send/receive pair orders those writes before the workers'
+// reads.
+type shardedRun struct {
+	st    *runState
+	g     *graph.Graph
+	a     Algorithm
+	off   []int32
+	route []int32
+	p     int
+	round int
+}
+
+// worker is one shard's loop. It exits on phaseStop, signalling idle
+// first; after that signal it never touches shared state again, so the
+// coordinator's stop barrier doubles as the release fence for the
+// pooled buffers.
+func (r *shardedRun) worker(s int) {
+	lo, hi := r.st.bounds[s], r.st.bounds[s+1]
+	for {
+		switch <-r.st.work[s] {
+		case phaseInit:
+			r.initPhase(s, lo, hi)
+		case phaseSend:
+			r.sendPhase(s, lo, hi)
+		case phaseRecv:
+			r.recvPhase(s, lo, hi)
+		case phaseStop:
+			r.st.idle <- struct{}{}
+			return
+		}
+		r.st.idle <- struct{}{}
+	}
+}
+
+// barrier runs one phase on every worker and waits for all of them.
+func (r *shardedRun) barrier(phase int) {
+	for i := 0; i < r.p; i++ {
+		r.st.work[i] <- phase
+	}
+	for i := 0; i < r.p; i++ {
+		<-r.st.idle
+	}
+}
+
+// initPhase retires nodes that are born done (zero-round algorithms).
+func (r *shardedRun) initPhase(s, lo, hi int) {
+	st := r.st
+	pending := 0
+	for v := lo; v < hi; v++ {
+		if st.nodes[v].Done() {
+			st.done[v] = true
+		} else {
+			pending++
+		}
+	}
+	st.stats[s].pending = pending
+}
+
+// sendPhase writes the shard's outbox windows and counts non-nil
+// messages. A malformed Send stops the shard at its first bad node;
+// shards are contiguous ascending ranges, so the first error in shard
+// order is the lowest misbehaving node — the same error the sequential
+// engine reports.
+func (r *shardedRun) sendPhase(s, lo, hi int) {
+	st := r.st
+	sent := 0
+	for v := lo; v < hi; v++ {
+		slot := st.outbox[r.off[v]:r.off[v+1]:r.off[v+1]]
+		if st.done[v] {
+			clear(slot)
+			continue
+		}
+		c, err := st.fillSlot(r.a, v, r.round, slot)
+		if err != nil {
+			st.stats[s].err = err
+			return
+		}
+		sent += c
+	}
+	st.stats[s].sent = sent
+}
+
+// recvPhase gathers the shard's inbox slots through the routing table,
+// delivers each node's contiguous inbox window, and retires nodes that
+// report Done.
+func (r *shardedRun) recvPhase(s, lo, hi int) {
+	st := r.st
+	for j := int(r.off[lo]); j < int(r.off[hi]); j++ {
+		st.inbox[j] = st.outbox[r.route[j]]
+	}
+	pending := 0
+	for v := lo; v < hi; v++ {
+		if st.done[v] {
+			continue
+		}
+		st.nodes[v].Receive(r.round, st.inbox[r.off[v]:r.off[v+1]:r.off[v+1]])
+		if st.nodes[v].Done() {
+			st.done[v] = true
+		} else {
+			pending++
+		}
+	}
+	st.stats[s].pending = pending
+}
+
 // RunSharded executes the algorithm with P worker shards over the graph's
 // flat routing table. Nodes are partitioned into contiguous ranges
 // balanced by port count; each round runs two phases separated by a
-// sync.WaitGroup barrier:
+// channel barrier:
 //
 //	send:    every shard writes its nodes' outgoing messages into a flat
 //	         outbox indexed by global port number and counts them;
@@ -57,10 +175,13 @@ func WithShards(p int) Option {
 //	         table (inbox[j] = outbox[route[j]]), delivers each node's
 //	         contiguous inbox slice, and retires nodes that report Done.
 //
-// The two flat arrays are allocated once and reused every round — no
-// channels and no per-round allocation — so the engine runs within a
-// small constant factor of memory bandwidth on million-node graphs.
-// Results are bit-identical to RunSequential for every shard count.
+// The two flat arrays, the node and retirement slices, and the shard
+// accounting all come from a pooled runState, and the P workers persist
+// for the whole run, so a steady-state round performs zero allocations:
+// nodes implementing BufferedNode write their messages straight into
+// the outbox (see fillSlot), and the barriers are plain channel
+// operations. Results are bit-identical to RunSequential for every
+// shard count.
 //
 // WithRoundHook is honoured: the hook observes the flat outbox through
 // per-node subslices, invoked between the send and receive barriers
@@ -83,60 +204,29 @@ func RunSharded(g *graph.Graph, a Algorithm, opts ...Option) (*Result, error) {
 		p = 1
 	}
 
-	off := g.PortOffsets()
-	route := g.RoutingTable()
-	nodes := make([]Node, n)
+	st := acquireState(n, g.NumPorts(), p)
+	// Release only after the workers have stopped: defers run in LIFO
+	// order, so the stop barrier deferred below fences every worker off
+	// the buffers before they return to the pool — on every exit path,
+	// including cancellation and malformed-send errors.
+	defer st.release()
 	for v := 0; v < n; v++ {
-		nodes[v] = a.NewNode(g.Deg(v))
+		st.nodes[v] = a.NewNode(g.Deg(v))
+		st.buffered[v], _ = st.nodes[v].(BufferedNode)
 	}
-	done := make([]bool, n)
-	outbox := make([]Message, g.NumPorts())
-	inbox := make([]Message, g.NumPorts())
-	bounds := shardBounds(off, n, p)
+	shardBounds(st.bounds, g.PortOffsets(), n, p)
 
-	// Each shard owns one slot; workers touch only their own slot and
-	// their node/port range, so phases are race-free by construction.
-	type shardStat struct {
-		sent    int   // non-nil messages this round
-		pending int   // nodes not yet retired
-		err     error // first malformed Send (lowest node in shard)
+	r := &shardedRun{st: st, g: g, a: a, off: g.PortOffsets(), route: g.RoutingTable(), p: p}
+	for s := 0; s < p; s++ {
+		go r.worker(s)
 	}
-	stats := make([]shardStat, p)
+	defer r.barrier(phaseStop)
 
-	runPhase := func(f func(s, lo, hi int)) {
-		var wg sync.WaitGroup
-		wg.Add(p)
-		for s := 0; s < p; s++ {
-			go func(s int) {
-				defer wg.Done()
-				f(s, bounds[s], bounds[s+1])
-			}(s)
-		}
-		wg.Wait()
-	}
+	r.barrier(phaseInit)
 
-	// Retire nodes that are born done (zero-round algorithms).
-	runPhase(func(s, lo, hi int) {
-		pending := 0
-		for v := lo; v < hi; v++ {
-			if nodes[v].Done() {
-				done[v] = true
-			} else {
-				pending++
-			}
-		}
-		stats[s].pending = pending
-	})
-
-	// The hook's view of the outbox: one subslice per node, built once.
-	// Between the send and receive barriers the workers are joined, so
-	// handing the buffers to the hook is race-free.
 	var hookView [][]Message
 	if c.roundHook != nil {
-		hookView = make([][]Message, n)
-		for v := 0; v < n; v++ {
-			hookView[v] = outbox[off[v]:off[v+1]:off[v+1]]
-		}
+		hookView = st.hookRows(r.off, n)
 	}
 
 	res := &Result{}
@@ -145,78 +235,33 @@ func RunSharded(g *graph.Graph, a Algorithm, opts ...Option) (*Result, error) {
 			return nil, err
 		}
 		pending := 0
-		for s := range stats {
-			pending += stats[s].pending
+		for s := 0; s < p; s++ {
+			pending += st.stats[s].pending
 		}
 		if pending == 0 {
 			break
 		}
 		if round >= c.maxRounds {
-			return nil, fmt.Errorf("%w: algorithm %q still running after %d rounds", ErrRoundLimit, a.Name(), round)
+			return nil, roundLimit(a, round)
 		}
 		res.Rounds = round + 1
 
-		runPhase(func(s, lo, hi int) {
-			sent := 0
-			for v := lo; v < hi; v++ {
-				base := int(off[v])
-				deg := int(off[v+1]) - base
-				if done[v] {
-					for j := base; j < base+deg; j++ {
-						outbox[j] = nil
-					}
-					continue
-				}
-				out := nodes[v].Send(round)
-				if len(out) != deg {
-					stats[s].err = fmt.Errorf("sim: algorithm %q: node %d sent %d messages, want %d",
-						a.Name(), v, len(out), deg)
-					return
-				}
-				copy(outbox[base:base+deg], out)
-				for _, m := range out {
-					if m != nil {
-						sent++
-					}
-				}
+		r.round = round
+		r.barrier(phaseSend)
+		for s := 0; s < p; s++ {
+			if err := st.stats[s].err; err != nil {
+				return nil, err
 			}
-			stats[s].sent = sent
-		})
-		// Shards are contiguous ascending node ranges and each worker
-		// stops at its first bad node, so the first error in shard order
-		// is the lowest misbehaving node — the same error the sequential
-		// engine reports.
-		for s := range stats {
-			if stats[s].err != nil {
-				return nil, stats[s].err
-			}
-			res.Messages += stats[s].sent
+			res.Messages += st.stats[s].sent
 		}
 		if c.roundHook != nil {
 			c.roundHook(round, hookView)
 		}
 
-		runPhase(func(s, lo, hi int) {
-			for j := int(off[lo]); j < int(off[hi]); j++ {
-				inbox[j] = outbox[route[j]]
-			}
-			pending := 0
-			for v := lo; v < hi; v++ {
-				if done[v] {
-					continue
-				}
-				nodes[v].Receive(round, inbox[off[v]:off[v+1]])
-				if nodes[v].Done() {
-					done[v] = true
-				} else {
-					pending++
-				}
-			}
-			stats[s].pending = pending
-		})
+		r.barrier(phaseRecv)
 	}
 
-	outputs, err := collectOutputs(g, a, nodes)
+	outputs, err := collectOutputs(g, a, st.nodes[:n])
 	if err != nil {
 		return nil, err
 	}
@@ -225,19 +270,19 @@ func RunSharded(g *graph.Graph, a Algorithm, opts ...Option) (*Result, error) {
 }
 
 // shardBounds partitions the nodes into p contiguous ranges balanced by
-// port count (the unit of per-round work), returning p+1 boundaries.
-// Trailing shards may be empty on degenerate inputs; that only idles a
-// worker.
-func shardBounds(off []int32, n, p int) []int {
-	bounds := make([]int, p+1)
+// port count (the unit of per-round work), writing p+1 boundaries into
+// bounds. Trailing shards may be empty on degenerate inputs; that only
+// idles a worker.
+func shardBounds(bounds []int, off []int32, n, p int) {
 	total := int(off[n])
 	if total == 0 {
 		// Port-free graph (isolated nodes): balance by node count.
 		for s := 0; s <= p; s++ {
 			bounds[s] = s * n / p
 		}
-		return bounds
+		return
 	}
+	bounds[0] = 0
 	v := 0
 	for s := 1; s < p; s++ {
 		target := total * s / p
@@ -247,5 +292,4 @@ func shardBounds(off []int32, n, p int) []int {
 		bounds[s] = v
 	}
 	bounds[p] = n
-	return bounds
 }

@@ -67,6 +67,36 @@ type Node interface {
 	Output() []int
 }
 
+// BufferedNode is the optional zero-allocation extension of Node. Every
+// engine type-asserts each node once at run start; a node implementing
+// SendInto has its outgoing messages written straight into the
+// engine-owned outbox window for that node — no per-round []Message
+// allocation, no boxing copy — and its Send method is never called.
+// Nodes that do not implement it keep working through Send unchanged.
+//
+// The contract of SendInto mirrors Send with the buffer inverted:
+//
+//   - buf has exactly one entry per port (index 0 is port 1) and every
+//     entry is nil on entry; write the round's non-nil messages and
+//     leave empty ports untouched.
+//   - buf is a view of an engine buffer that is recycled at the next
+//     round barrier. Retaining buf, a reslice of it, or any alias past
+//     the call corrupts later rounds on the buffer-reusing engines —
+//     exactly the divergence class the outboxalias analyzer
+//     (internal/lint) flags mechanically. Retaining the message values
+//     written into it is always fine.
+//
+// All four paper algorithms in internal/core implement BufferedNode;
+// their steady-state message payloads are empty or single-bool structs,
+// which Go boxes without heap allocation, so a full round of theirs
+// allocates nothing on the sharded engine.
+type BufferedNode interface {
+	Node
+	// SendInto writes the outgoing message for each port into buf, which
+	// arrives all-nil with exactly one entry per port.
+	SendInto(round int, buf []Message)
+}
+
 // Algorithm is a factory of node state machines. In the port-numbering
 // model a starting node knows nothing but its own degree, which is
 // therefore the only argument.
@@ -172,24 +202,41 @@ func buildConfig(opts []Option) config {
 	return c
 }
 
+// malformedSend is the shared malformed-Send error, built identically by
+// every engine so error parity holds byte for byte.
+func malformedSend(a Algorithm, v, got, want int) error {
+	return fmt.Errorf("sim: algorithm %q: node %d sent %d messages, want %d", a.Name(), v, got, want)
+}
+
+// roundLimit is the shared round-budget error, built identically by
+// every engine.
+func roundLimit(a Algorithm, round int) error {
+	return fmt.Errorf("%w: algorithm %q still running after %d rounds", ErrRoundLimit, a.Name(), round)
+}
+
 // RunSequential executes the algorithm on g with a deterministic
-// single-threaded engine.
+// single-threaded engine. Like the sharded engine it runs over the
+// graph's flat routing view — a pooled pair of flat message arrays with
+// a single gather per round — so it shares the zero-allocation send
+// path (BufferedNode) and the recycled run state; it differs from
+// RunSharded only in having no workers and no barriers.
 func RunSequential(g *graph.Graph, a Algorithm, opts ...Option) (*Result, error) {
 	c := buildConfig(opts)
 	if err := c.ctxErr(a); err != nil {
 		return nil, err
 	}
 	n := g.N()
-	nodes := make([]Node, n)
-	done := make([]bool, n)
+	off := g.PortOffsets()
+	route := g.RoutingTable()
+	st := acquireState(n, g.NumPorts(), 0)
+	defer st.release()
 	for v := 0; v < n; v++ {
-		nodes[v] = a.NewNode(g.Deg(v))
+		st.nodes[v] = a.NewNode(g.Deg(v))
+		st.buffered[v], _ = st.nodes[v].(BufferedNode)
 	}
-	sent := make([][]Message, n)
-	inbox := make([][]Message, n)
-	for v := 0; v < n; v++ {
-		sent[v] = make([]Message, g.Deg(v))
-		inbox[v] = make([]Message, g.Deg(v))
+	var hookView [][]Message
+	if c.roundHook != nil {
+		hookView = st.hookRows(off, n)
 	}
 	res := &Result{}
 	for round := 0; ; round++ {
@@ -202,9 +249,9 @@ func RunSequential(g *graph.Graph, a Algorithm, opts ...Option) (*Result, error)
 		// Send again (degree-dependent schedules on irregular graphs).
 		allDone := true
 		for v := 0; v < n; v++ {
-			if !done[v] {
-				if nodes[v].Done() {
-					done[v] = true
+			if !st.done[v] {
+				if st.nodes[v].Done() {
+					st.done[v] = true
 				} else {
 					allDone = false
 				}
@@ -214,48 +261,38 @@ func RunSequential(g *graph.Graph, a Algorithm, opts ...Option) (*Result, error)
 			break
 		}
 		if round >= c.maxRounds {
-			return nil, fmt.Errorf("%w: algorithm %q still running after %d rounds", ErrRoundLimit, a.Name(), round)
+			return nil, roundLimit(a, round)
 		}
 		res.Rounds = round + 1
-		// Send phase.
+		// Send phase: every node writes its outbox window.
 		for v := 0; v < n; v++ {
-			if done[v] {
-				for i := range sent[v] {
-					sent[v][i] = nil
-				}
+			slot := st.outbox[off[v]:off[v+1]:off[v+1]]
+			if st.done[v] {
+				clear(slot)
 				continue
 			}
-			out := nodes[v].Send(round)
-			if len(out) != g.Deg(v) {
-				return nil, fmt.Errorf("sim: algorithm %q: node %d sent %d messages, want %d",
-					a.Name(), v, len(out), g.Deg(v))
+			sent, err := st.fillSlot(a, v, round, slot)
+			if err != nil {
+				return nil, err
 			}
-			copy(sent[v], out)
-			for _, m := range out {
-				if m != nil {
-					res.Messages++
-				}
-			}
+			res.Messages += sent
 		}
 		if c.roundHook != nil {
-			c.roundHook(round, sent)
+			c.roundHook(round, hookView)
 		}
-		// Route via the involution.
-		for v := 0; v < n; v++ {
-			for i := 1; i <= g.Deg(v); i++ {
-				q := g.P(v, i)
-				inbox[q.Node][q.Num-1] = sent[v][i-1]
-			}
+		// Route via the involution: one flat gather.
+		for j := range route {
+			st.inbox[j] = st.outbox[route[j]]
 		}
 		// Receive phase.
 		for v := 0; v < n; v++ {
-			if !done[v] {
-				nodes[v].Receive(round, inbox[v])
+			if !st.done[v] {
+				st.nodes[v].Receive(round, st.inbox[off[v]:off[v+1]:off[v+1]])
 			}
 		}
 	}
 	var err error
-	res.Outputs, err = collectOutputs(g, a, nodes)
+	res.Outputs, err = collectOutputs(g, a, st.nodes[:n])
 	if err != nil {
 		return nil, err
 	}
@@ -275,9 +312,12 @@ func RunConcurrent(g *graph.Graph, a Algorithm, opts ...Option) (*Result, error)
 		return nil, err
 	}
 	n := g.N()
-	nodes := make([]Node, n)
+	st := acquireState(n, 0, 0)
+	defer st.release()
+	nodes := st.nodes
 	for v := 0; v < n; v++ {
 		nodes[v] = a.NewNode(g.Deg(v))
+		st.buffered[v], _ = nodes[v].(BufferedNode)
 	}
 	// in[v][i-1] is the inbound channel of port (v, i). Capacity 1: a
 	// round's message parks there until the owner consumes it.
@@ -324,8 +364,13 @@ func RunConcurrent(g *graph.Graph, a Algorithm, opts ...Option) (*Result, error)
 		go func(v int) {
 			defer wg.Done()
 			node := nodes[v]
+			buffered := st.buffered[v]
 			deg := g.Deg(v)
 			inbox := make([]Message, deg)
+			// scratch is the worker's reusable outbox: retired rounds,
+			// the SendInto fast path, and malformed-Send substitution all
+			// fill it in place, so the steady state allocates nothing.
+			scratch := make([]Message, deg)
 			done := node.Done()
 			round := 0
 			for cont := range start[v] {
@@ -335,11 +380,17 @@ func RunConcurrent(g *graph.Graph, a Algorithm, opts ...Option) (*Result, error)
 				var out []Message
 				sentCount := 0
 				if !done {
-					out = node.Send(round)
-					if len(out) != deg {
-						recordErr(v, fmt.Errorf("sim: algorithm %q: node %d sent %d messages, want %d",
-							a.Name(), v, len(out), deg))
-						out = make([]Message, deg)
+					if buffered != nil {
+						clear(scratch)
+						buffered.SendInto(round, scratch)
+						out = scratch
+					} else {
+						out = node.Send(round)
+						if len(out) != deg {
+							recordErr(v, malformedSend(a, v, len(out), deg))
+							clear(scratch)
+							out = scratch
+						}
 					}
 					for _, m := range out {
 						if m != nil {
@@ -347,7 +398,8 @@ func RunConcurrent(g *graph.Graph, a Algorithm, opts ...Option) (*Result, error)
 						}
 					}
 				} else {
-					out = make([]Message, deg)
+					clear(scratch)
+					out = scratch
 				}
 				for i := 1; i <= deg; i++ {
 					q := g.P(v, i)
@@ -398,7 +450,7 @@ func RunConcurrent(g *graph.Graph, a Algorithm, opts ...Option) (*Result, error)
 		}
 		if round >= c.maxRounds {
 			stopAll()
-			return nil, fmt.Errorf("%w: algorithm %q still running after %d rounds", ErrRoundLimit, a.Name(), round)
+			return nil, roundLimit(a, round)
 		}
 		res.Rounds = round + 1
 		for v := 0; v < n; v++ {
