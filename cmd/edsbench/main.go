@@ -1,0 +1,247 @@
+// Command edsbench gates the repo's allocation regressions: it parses
+// `go test -benchmem` output, diffs every benchmark's allocs/op against
+// the committed BENCH_baseline.json, and fails when an entry grew
+// beyond tolerance. ns/op and B/op are recorded for context but never
+// gated — they move with the host; the allocation counts are the
+// machine-independent contract (steady-state rounds are pinned at 0 by
+// the internal/sim regression tests, so everything here is per-run
+// construction cost).
+//
+// Usage:
+//
+//	go test -short -run='^$' -bench='BenchmarkEngines|BenchmarkSharded' -benchmem -benchtime=5x . | go run ./cmd/edsbench
+//	go run ./cmd/edsbench bench-output.txt
+//	go run ./cmd/edsbench -update bench-output.txt   # refresh the baseline
+//
+// Benchmarks present in the input but absent from the baseline are
+// ignored (the baseline names what is gated); baseline entries missing
+// from the input fail the gate, so the baseline cannot silently rot
+// when a benchmark is renamed or deleted — refresh it with -update.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Baseline mirrors BENCH_baseline.json.
+type Baseline struct {
+	Comment    string  `json:"_comment"`
+	Generated  string  `json:"generated"`
+	Go         string  `json:"go"`
+	CPU        string  `json:"cpu"`
+	Benchtime  string  `json:"benchtime"`
+	Benchmarks []Bench `json:"benchmarks"`
+}
+
+// Bench is one recorded benchmark result.
+type Bench struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Nodes       int     `json:"nodes,omitempty"`
+	Rounds      int     `json:"rounds,omitempty"`
+}
+
+// gomaxprocsSuffix strips the trailing "-N" GOMAXPROCS marker go test
+// appends to benchmark names, so results diff stably across core counts.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBench parses one `go test -bench -benchmem` result line, e.g.
+//
+//	BenchmarkSharded/Cycle/n=100k/sharded-8  5  42791983 ns/op  21800513 B/op  800005 allocs/op  100000 nodes  1.000 rounds
+//
+// Returns ok=false for non-benchmark lines (headers, PASS, ok, skips).
+func parseBench(line string) (Bench, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Bench{}, false
+	}
+	b := Bench{Name: gomaxprocsSuffix.ReplaceAllString(fields[0], "")}
+	// fields[1] is the iteration count; after it come value/unit pairs.
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Bench{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			b.NsPerOp = val
+			seen = true
+		case "B/op":
+			b.BytesPerOp = int64(val)
+		case "allocs/op":
+			b.AllocsPerOp = int64(val)
+			seen = true
+		case "nodes":
+			b.Nodes = int(val)
+		case "rounds":
+			b.Rounds = int(val)
+		}
+	}
+	return b, seen
+}
+
+// parseOutput scans full `go test` output and returns every benchmark
+// result plus the reported CPU model (from the "cpu:" header), keyed by
+// stripped name. A benchmark that appears twice keeps the last result.
+func parseOutput(r io.Reader) (map[string]Bench, string, error) {
+	results := map[string]Bench{}
+	cpu := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "cpu:"); ok {
+			cpu = strings.TrimSpace(rest)
+			continue
+		}
+		if b, ok := parseBench(line); ok {
+			results[b.Name] = b
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, "", err
+	}
+	return results, cpu, nil
+}
+
+// diff compares measured results against the baseline and returns one
+// human-readable problem per violated entry. Growth beyond
+// want*(1+tolerance)+slack fails; shrinkage never does (refresh the
+// baseline with -update to bank an improvement).
+func diff(baseline []Bench, got map[string]Bench, tolerance float64, slack int64) []string {
+	var problems []string
+	for _, want := range baseline {
+		g, ok := got[want.Name]
+		if !ok {
+			problems = append(problems,
+				fmt.Sprintf("%s: in baseline but not in the benchmark output — renamed or deleted? refresh with -update", want.Name))
+			continue
+		}
+		ceiling := int64(float64(want.AllocsPerOp)*(1+tolerance)) + slack
+		if g.AllocsPerOp > ceiling {
+			problems = append(problems,
+				fmt.Sprintf("%s: allocs/op grew %d → %d (ceiling %d = baseline +%.0f%% +%d)",
+					want.Name, want.AllocsPerOp, g.AllocsPerOp, ceiling, tolerance*100, slack))
+		}
+	}
+	return problems
+}
+
+// regenerate builds a fresh baseline from measured results, keeping the
+// gated set stable: only benchmarks already in the baseline are
+// refreshed, in the baseline's order. Gating a new benchmark means
+// adding its entry to BENCH_baseline.json by hand first — an explicit,
+// reviewable act — after which -update keeps it current.
+func regenerate(old *Baseline, got map[string]Bench, cpu, benchtime string) *Baseline {
+	fresh := &Baseline{
+		Comment: "Baseline snapshot of the engine benchmarks; allocs_per_op is the gated number (ns/op moves with the host). " +
+			"Regenerate with: go test -short -run='^$' -bench='BenchmarkEngines|BenchmarkSharded' -benchmem -benchtime=5x . | go run ./cmd/edsbench -update " +
+			"— steady-state rounds are pinned at 0 allocations by TestEngineRoundsAllocationFree and TestMigratedAlgorithmsZeroAllocSteadyState, " +
+			"and full-run construction is pinned O(1) by TestSetupAllocationBudget, so every alloc here is per-run slab or Result assembly.",
+		Generated: time.Now().Format("2006-01-02"),
+		Go:        runtime.Version() + " " + runtime.GOOS + "/" + runtime.GOARCH,
+		CPU:       cpu,
+		Benchtime: benchtime,
+	}
+	if fresh.CPU == "" {
+		fresh.CPU = old.CPU
+	}
+	for _, want := range old.Benchmarks {
+		if g, ok := got[want.Name]; ok {
+			fresh.Benchmarks = append(fresh.Benchmarks, g)
+		}
+	}
+	return fresh
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("edsbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	baselinePath := fs.String("baseline", "BENCH_baseline.json", "path to the committed baseline")
+	tolerance := fs.Float64("tolerance", 0.25, "relative allocs/op growth allowed before failing")
+	slack := fs.Int64("slack", 10000, "absolute allocs/op growth allowed on top of the tolerance (absorbs cold-pool first iterations)")
+	update := fs.Bool("update", false, "rewrite the baseline from the measured results instead of gating")
+	benchtime := fs.String("benchtime", "5x", "benchtime recorded in a regenerated baseline")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	in := stdin
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		defer f.Close()
+		in = f
+	}
+	got, cpu, err := parseOutput(in)
+	if err != nil {
+		fmt.Fprintf(stderr, "edsbench: reading benchmark output: %v\n", err)
+		return 2
+	}
+	if len(got) == 0 {
+		fmt.Fprintln(stderr, "edsbench: no benchmark results in input (did you pass -bench and -benchmem?)")
+		return 2
+	}
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(stderr, "edsbench: %v\n", err)
+		return 2
+	}
+	var baseline Baseline
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		fmt.Fprintf(stderr, "edsbench: parsing %s: %v\n", *baselinePath, err)
+		return 2
+	}
+
+	if *update {
+		fresh := regenerate(&baseline, got, cpu, *benchtime)
+		if len(fresh.Benchmarks) == 0 {
+			fmt.Fprintln(stderr, "edsbench: refusing to write an empty baseline: no measured benchmark matches the current baseline set")
+			return 2
+		}
+		out, err := json.MarshalIndent(fresh, "", "  ")
+		if err != nil {
+			fmt.Fprintf(stderr, "edsbench: %v\n", err)
+			return 2
+		}
+		if err := os.WriteFile(*baselinePath, append(out, '\n'), 0o644); err != nil {
+			fmt.Fprintf(stderr, "edsbench: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "edsbench: wrote %s (%d benchmarks)\n", *baselinePath, len(fresh.Benchmarks))
+		return 0
+	}
+
+	problems := diff(baseline.Benchmarks, got, *tolerance, *slack)
+	for _, p := range problems {
+		fmt.Fprintf(stderr, "edsbench: FAIL %s\n", p)
+	}
+	if len(problems) > 0 {
+		fmt.Fprintf(stderr, "edsbench: %d allocation regression(s) against %s\n", len(problems), *baselinePath)
+		return 1
+	}
+	fmt.Fprintf(stdout, "edsbench: OK — %d gated benchmarks within allocs/op ceilings (tolerance %.0f%% + %d)\n",
+		len(baseline.Benchmarks), *tolerance*100, *slack)
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}

@@ -15,7 +15,9 @@
 //
 // Operational endpoints: GET /healthz (200 while serving, 503 while
 // draining), GET /statsz (request counts, cache hit rate, queue depth,
-// per-algorithm latency histograms).
+// per-algorithm latency histograms, cumulative engine setup/rounds
+// wall-time split). With -pprof, net/http/pprof is mounted under
+// /debug/pprof/ — off by default because it exposes heap contents.
 //
 // On SIGINT/SIGTERM the daemon stops accepting new runs, keeps serving
 // the in-flight ones until they finish or the drain deadline passes,
@@ -50,6 +52,7 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-request deadline")
 	maxTimeout := flag.Duration("max-timeout", 2*time.Minute, "largest client-requestable deadline")
 	drain := flag.Duration("drain", 30*time.Second, "shutdown drain deadline for in-flight runs")
+	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (exposes heap contents; keep off on untrusted networks)")
 	flag.Parse()
 
 	s := server.New(server.Config{
@@ -60,6 +63,7 @@ func main() {
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		CacheEntries:   *cache,
+		EnablePprof:    *enablePprof,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

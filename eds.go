@@ -69,6 +69,23 @@ type (
 	// detect it once per run; the buffer must not be retained past the
 	// call (see CONTRIBUTING.md and the outboxalias analyzer).
 	BufferedNode = sim.BufferedNode
+	// BulkAlgorithm is the optional bulk-construction extension of
+	// Algorithm: BuildNodes constructs whole node ranges at once, with
+	// per-node state carved from an engine-owned StateArena in O(1)
+	// slabs, and the sharded engine builds all shards in parallel.
+	// Arena-carved state must not be retained past the run (see
+	// CONTRIBUTING.md and the arenaalias analyzer).
+	BulkAlgorithm = sim.BulkAlgorithm
+	// StateArena is the engines' bump allocator for per-node algorithm
+	// state, recycled with the pooled run state.
+	StateArena = sim.StateArena
+	// OutputAppender is the optional zero-allocation extension of
+	// Output: AppendOutput writes the node's chosen ports onto the
+	// engines' flat output buffer.
+	OutputAppender = sim.OutputAppender
+	// Timings is the per-run wall-clock split (setup, rounds, outputs)
+	// recorded by WithTimings.
+	Timings = sim.Timings
 	// Result carries the statistics of one execution.
 	Result = sim.Result
 	// Option customises an execution (context, round budget, shards).
@@ -103,6 +120,10 @@ func WithMaxRounds(n int) Option { return sim.WithMaxRounds(n) }
 // WithShards sets the worker count of the sharded engine (<= 0 selects
 // one shard per CPU). Other engines ignore it.
 func WithShards(p int) Option { return sim.WithShards(p) }
+
+// WithTimings makes the engine record its setup/rounds/outputs
+// wall-clock split into *t. Diagnostic only: Results stay identical.
+func WithTimings(t *Timings) Option { return sim.WithTimings(t) }
 
 // NewBuilder returns a builder for a graph with n isolated nodes.
 func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
@@ -203,10 +224,11 @@ func RunSharded(g *Graph, a Algorithm, opts ...Option) (*EdgeSet, *Result, error
 	return runWith(sim.RunSharded, g, a, opts...)
 }
 
-// RunAuto picks an engine by graph size — the sequential reference at or
-// below sim.AutoShardedThreshold nodes, the sharded engine above it —
-// and returns the selected edge set. Every engine returns identical
-// results, so the choice affects only the wall-clock time.
+// RunAuto picks an engine by setup volume (sim.EngineChoice: the
+// sequential reference for small graphs or single-CPU processes, the
+// sharded engine once the port count crosses sim.AutoShardedPorts on
+// multi-core) and returns the selected edge set. Every engine returns
+// identical results, so the choice affects only the wall-clock time.
 func RunAuto(g *Graph, a Algorithm, opts ...Option) (*EdgeSet, *Result, error) {
 	return runWith(sim.RunAuto, g, a, opts...)
 }

@@ -31,14 +31,22 @@ func labelPairKey(a, b int) [2]int {
 // DistinguishFromPeers computes a node's distinguishable port from the
 // peer port numbers of its edges (the node-local computation of Section
 // 5). It returns the node's own port i and the peer port j of the
-// distinguishable edge, or ok = false when every label pair occurs twice.
+// distinguishable edge, or ok = false when every label pair occurs
+// twice. The nested scan is deliberate: every node runs this once
+// during label exchange, and at O(d²) comparisons with no allocation it
+// beats a per-node map for the paper's bounded-degree regime (the run
+// engines assert construction allocates O(1) per shard).
 func DistinguishFromPeers(peers []int) (i, j int, ok bool) {
-	count := make(map[[2]int]int, len(peers))
 	for own1, peer := range peers {
-		count[labelPairKey(own1+1, peer)]++
-	}
-	for own1, peer := range peers {
-		if count[labelPairKey(own1+1, peer)] == 1 {
+		k := labelPairKey(own1+1, peer)
+		unique := true
+		for own2, peer2 := range peers {
+			if own2 != own1 && labelPairKey(own2+1, peer2) == k {
+				unique = false
+				break
+			}
+		}
+		if unique {
 			return own1 + 1, peer, true
 		}
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"eds/internal/graph"
 	"eds/internal/sim"
 )
 
@@ -30,12 +31,16 @@ import (
 //	            double cover of H mapped back to H (Polishchuk–Suomela).
 //
 // The approximation factor is 4 - 1/k for max degree in {2k, 2k+1},
-// optimal by Corollary 1; the round schedule depends only on Δ.
+// optimal by Corollary 1; the round schedule depends only on Δ, so one
+// compiled program serves every node of a run regardless of degree.
 type General struct {
 	delta int // normalised: odd, >= 3
 }
 
-var _ sim.Algorithm = General{}
+var (
+	_ sim.Algorithm     = General{}
+	_ sim.BulkAlgorithm = General{}
+)
 
 // NewGeneral returns A(Δ) for graphs of maximum degree at most Δ. It
 // panics if delta < 2; use AllEdges for Δ = 1.
@@ -68,10 +73,12 @@ func (a General) Rounds(int) int {
 	return total
 }
 
-// generalNode carries the mutable per-node state across the phases.
-type generalNode struct {
-	*pairState // phase I machinery; inSet = membership in M
-	delta      int
+// generalState carries the mutable per-node state across the phases.
+// Every slice is arena-carved by initGeneralState; the two scratch
+// lists hold at most one entry per port, so their capacity is the
+// degree and every proposal round is allocation-free.
+type generalState struct {
+	pairState         // phase I machinery; inSet = membership in M
 	inP        []bool // phase III membership
 	nbrCovered []bool // neighbour M-coverage, refreshed by status rounds
 
@@ -89,60 +96,80 @@ type generalNode struct {
 	acceptedIncoming bool
 }
 
+func initGeneralState(st *generalState, deg int, arena *sim.StateArena) {
+	st.pairState.init(deg, arena)
+	st.inP = arenaBools(arena, deg)
+	st.nbrCovered = arenaBools(arena, deg)
+	st.eligible = arenaInts(arena, deg)[:0]
+	st.proposalPorts = arenaInts(arena, deg)[:0]
+	st.proposedPort = -1
+}
+
+// generalPair is the embedded-pairState accessor the shared Theorem 4/5
+// step builders hook into.
+func generalPair(st *generalState) *pairState { return &st.pairState }
+
 // NewNode implements sim.Algorithm.
 func (a General) NewNode(degree int) sim.Node {
-	st := &generalNode{
-		pairState:    newPairState(degree),
-		delta:        a.delta,
-		inP:          make([]bool, degree),
-		nbrCovered:   make([]bool, degree),
-		proposedPort: -1,
-		// Both scratch lists hold at most one entry per port; sizing them
-		// up front keeps every proposal round allocation-free.
-		eligible:      make([]int, 0, degree),
-		proposalPorts: make([]int, 0, degree),
-	}
-	node := &scriptNode{deg: degree}
-	node.steps = append(node.steps, labelExchangeStep(st.pairState))
-	// Phase I: all pairs over the family parameter so every node stays on
-	// the same global schedule regardless of its own degree.
-	for i := 1; i <= a.delta; i++ {
-		for j := 1; j <= a.delta; j++ {
-			node.steps = append(node.steps, phaseIAddSteps(st.pairState, i, j, addOnlyIfNeitherCovered)...)
+	return newProgNode(generalProgram(a.Name(), a.delta), degree)
+}
+
+// BuildNodes implements sim.BulkAlgorithm: one shared program (the
+// schedule depends only on Δ), one node slab, state carved from the
+// shard's arena.
+func (a General) BuildNodes(g *graph.Graph, lo, hi int, arena *sim.StateArena, nodes []sim.Node) {
+	prog := generalProgram(a.Name(), a.delta)
+	buildProgNodes(g, lo, hi, arena, nodes, func(int) *program[generalState] { return prog })
+}
+
+// generalProgram compiles (once per Δ) the full A(Δ) schedule. Every
+// step guards on the node's runtime degree, so nodes of every degree
+// share the one program and stay on the common global round schedule.
+func generalProgram(kind string, delta int) *program[generalState] {
+	return cachedProgram(kind, 0, func() *program[generalState] {
+		p := &program[generalState]{
+			init: initGeneralState,
+			output: func(st *generalState, deg int, dst []int) []int {
+				for idx := 0; idx < deg; idx++ {
+					if st.inSet[idx] || st.inP[idx] {
+						dst = append(dst, idx+1)
+					}
+				}
+				return dst
+			},
 		}
-	}
-	// Phase II: degree-stratified bipartite maximal matchings.
-	for i := 2; i <= a.delta; i++ {
-		node.steps = append(node.steps, phaseIIStatusStep(st, i))
-		for c := 0; c < i; c++ {
-			node.steps = append(node.steps, phaseIIProposeStep(st), phaseIIAnswerStep(st))
-		}
-	}
-	// Phase III: the 2-matching on the M-uncovered subgraph.
-	node.steps = append(node.steps, phaseIIIStatusStep(st))
-	for c := 0; c < a.delta; c++ {
-		node.steps = append(node.steps, phaseIIIProposeStep(st), phaseIIIAnswerStep(st))
-	}
-	node.output = func() []int {
-		out := make([]int, 0, degree)
-		for idx := 0; idx < degree; idx++ {
-			if st.inSet[idx] || st.inP[idx] {
-				out = append(out, idx+1)
+		p.steps = append(p.steps, labelExchangeStep(generalPair))
+		// Phase I: all pairs over the family parameter so every node stays
+		// on the same global schedule regardless of its own degree.
+		for i := 1; i <= delta; i++ {
+			for j := 1; j <= delta; j++ {
+				p.steps = append(p.steps, phaseIAddSteps(generalPair, i, j, addOnlyIfNeitherCovered)...)
 			}
 		}
-		return out
-	}
-	return node
+		// Phase II: degree-stratified bipartite maximal matchings.
+		for i := 2; i <= delta; i++ {
+			p.steps = append(p.steps, phaseIIStatusStep(i))
+			for c := 0; c < i; c++ {
+				p.steps = append(p.steps, phaseIIProposeStep(), phaseIIAnswerStep())
+			}
+		}
+		// Phase III: the 2-matching on the M-uncovered subgraph.
+		p.steps = append(p.steps, phaseIIIStatusStep())
+		for c := 0; c < delta; c++ {
+			p.steps = append(p.steps, phaseIIIProposeStep(), phaseIIIAnswerStep())
+		}
+		return p
+	})
 }
 
 // phaseIIStatusStep opens iteration i of phase II: everyone broadcasts
 // its M-coverage; a node of degree exactly i that is uncovered becomes
 // black and lists its eligible white neighbours (smaller degree,
 // uncovered) in increasing port order.
-func phaseIIStatusStep(st *generalNode, i int) step {
-	return step{
-		send: statusBroadcast(st),
-		recv: func(inbox []sim.Message) {
+func phaseIIStatusStep(i int) pstep[generalState] {
+	return pstep[generalState]{
+		send: statusBroadcast,
+		recv: func(st *generalState, inbox []sim.Message) {
 			recordStatus(st, inbox)
 			st.eligible = st.eligible[:0]
 			st.ptr = 0
@@ -161,9 +188,9 @@ func phaseIIStatusStep(st *generalNode, i int) step {
 
 // phaseIIProposeStep: every live black node proposes to its next eligible
 // white neighbour.
-func phaseIIProposeStep(st *generalNode) step {
-	return step{
-		send: func(buf []sim.Message) {
+func phaseIIProposeStep() pstep[generalState] {
+	return pstep[generalState]{
+		send: func(st *generalState, buf []sim.Message) {
 			st.proposedPort = -1
 			if st.matched || st.ptr >= len(st.eligible) {
 				return
@@ -171,9 +198,7 @@ func phaseIIProposeStep(st *generalNode) step {
 			st.proposedPort = st.eligible[st.ptr]
 			buf[st.proposedPort] = msgProposal{}
 		},
-		recv: func(inbox []sim.Message) {
-			collectProposals(st, inbox)
-		},
+		recv: collectProposals,
 	}
 }
 
@@ -182,9 +207,9 @@ func phaseIIProposeStep(st *generalNode) step {
 // unmatched in M, rejecting everything else — and the black nodes act on
 // the answers. A white that got matched in an earlier cycle of this
 // iteration is covered by M and must reject.
-func phaseIIAnswerStep(st *generalNode) step {
-	return step{
-		send: func(buf []sim.Message) {
+func phaseIIAnswerStep() pstep[generalState] {
+	return pstep[generalState]{
+		send: func(st *generalState, buf []sim.Message) {
 			if st.covered() {
 				rejectAll(st, buf)
 				return
@@ -193,7 +218,7 @@ func phaseIIAnswerStep(st *generalNode) step {
 				st.inSet[accepted] = true
 			})
 		},
-		recv: func(inbox []sim.Message) {
+		recv: func(st *generalState, inbox []sim.Message) {
 			if st.proposedPort < 0 {
 				return
 			}
@@ -212,10 +237,10 @@ func phaseIIAnswerStep(st *generalNode) step {
 
 // phaseIIIStatusStep opens phase III: everyone broadcasts M-coverage; an
 // uncovered node lists the incident H-edges (both endpoints uncovered).
-func phaseIIIStatusStep(st *generalNode) step {
-	return step{
-		send: statusBroadcast(st),
-		recv: func(inbox []sim.Message) {
+func phaseIIIStatusStep() pstep[generalState] {
+	return pstep[generalState]{
+		send: statusBroadcast,
+		recv: func(st *generalState, inbox []sim.Message) {
 			recordStatus(st, inbox)
 			st.eligible = st.eligible[:0]
 			st.ptr = 0
@@ -233,9 +258,9 @@ func phaseIIIStatusStep(st *generalNode) step {
 
 // phaseIIIProposeStep: every H-node that has not had a proposal accepted
 // yet proposes along its next H-port.
-func phaseIIIProposeStep(st *generalNode) step {
-	return step{
-		send: func(buf []sim.Message) {
+func phaseIIIProposeStep() pstep[generalState] {
+	return pstep[generalState]{
+		send: func(st *generalState, buf []sim.Message) {
 			st.proposedPort = -1
 			if st.covered() || st.sentAccepted || st.ptr >= len(st.eligible) {
 				return
@@ -243,18 +268,16 @@ func phaseIIIProposeStep(st *generalNode) step {
 			st.proposedPort = st.eligible[st.ptr]
 			buf[st.proposedPort] = msgProposal{}
 		},
-		recv: func(inbox []sim.Message) {
-			collectProposals(st, inbox)
-		},
+		recv: collectProposals,
 	}
 }
 
 // phaseIIIAnswerStep: each H-node accepts the first incoming proposal of
 // its life (smallest port this cycle) and rejects all others; proposers
 // act on the answers. Accepted edges form the 2-matching P.
-func phaseIIIAnswerStep(st *generalNode) step {
-	return step{
-		send: func(buf []sim.Message) {
+func phaseIIIAnswerStep() pstep[generalState] {
+	return pstep[generalState]{
+		send: func(st *generalState, buf []sim.Message) {
 			if st.acceptedIncoming {
 				rejectAll(st, buf)
 				return
@@ -264,7 +287,7 @@ func phaseIIIAnswerStep(st *generalNode) step {
 				st.acceptedIncoming = true
 			})
 		},
-		recv: func(inbox []sim.Message) {
+		recv: func(st *generalState, inbox []sim.Message) {
 			if st.proposedPort < 0 {
 				return
 			}
@@ -282,17 +305,15 @@ func phaseIIIAnswerStep(st *generalNode) step {
 }
 
 // statusBroadcast sends the node's M-coverage flag on every port.
-func statusBroadcast(st *generalNode) func(buf []sim.Message) {
-	return func(buf []sim.Message) {
-		cov := st.covered()
-		for idx := range buf {
-			buf[idx] = msgStatus{Covered: cov}
-		}
+func statusBroadcast(st *generalState, buf []sim.Message) {
+	cov := st.covered()
+	for idx := range buf {
+		buf[idx] = msgStatus{Covered: cov}
 	}
 }
 
 // recordStatus stores the neighbours' coverage flags.
-func recordStatus(st *generalNode, inbox []sim.Message) {
+func recordStatus(st *generalState, inbox []sim.Message) {
 	for idx, m := range inbox {
 		if s, ok := m.(msgStatus); ok {
 			st.nbrCovered[idx] = s.Covered
@@ -302,7 +323,7 @@ func recordStatus(st *generalNode, inbox []sim.Message) {
 
 // collectProposals notes which ports carried proposals this cycle,
 // reusing nbr bookkeeping in proposalPorts.
-func collectProposals(st *generalNode, inbox []sim.Message) {
+func collectProposals(st *generalState, inbox []sim.Message) {
 	st.proposalPorts = st.proposalPorts[:0]
 	for idx, m := range inbox {
 		if _, ok := m.(msgProposal); ok {
@@ -314,7 +335,7 @@ func collectProposals(st *generalNode, inbox []sim.Message) {
 // answerProposals accepts the smallest-port proposal (invoking onAccept
 // with the 0-based port) and rejects the rest, writing the answers into
 // the round's send buffer. With no proposals it sends nothing.
-func answerProposals(st *generalNode, buf []sim.Message, onAccept func(accepted int)) {
+func answerProposals(st *generalState, buf []sim.Message, onAccept func(accepted int)) {
 	if len(st.proposalPorts) == 0 {
 		return
 	}
@@ -327,7 +348,7 @@ func answerProposals(st *generalNode, buf []sim.Message, onAccept func(accepted 
 }
 
 // rejectAll rejects every proposal received this cycle.
-func rejectAll(st *generalNode, buf []sim.Message) {
+func rejectAll(st *generalState, buf []sim.Message) {
 	if len(st.proposalPorts) == 0 {
 		return
 	}

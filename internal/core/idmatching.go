@@ -3,6 +3,7 @@ package core
 import (
 	"sync/atomic"
 
+	"eds/internal/graph"
 	"eds/internal/sim"
 )
 
@@ -29,13 +30,18 @@ import (
 // remain. Unlike the paper's algorithms the running time necessarily
 // depends on n — that dependence is exactly what Section 1.3 discusses.
 //
-// Identifiers are assigned by creation order, which both engines fix to
-// the node index: the "IDs exist" assumption, made concrete.
+// Identifiers are assigned by creation order, which every engine fixes
+// to the node index — the bulk construction path makes that explicit by
+// assigning id = node index directly: the "IDs exist" assumption, made
+// concrete.
 type IDMatching struct {
 	counter *atomic.Int64
 }
 
-var _ sim.Algorithm = IDMatching{}
+var (
+	_ sim.Algorithm     = IDMatching{}
+	_ sim.BulkAlgorithm = IDMatching{}
+)
 
 // NewIDMatching returns a fresh instance (the ID counter is per
 // instance; do not reuse one instance across runs).
@@ -51,6 +57,22 @@ func (a IDMatching) NewNode(degree int) sim.Node {
 	id := int(a.counter.Add(1)) - 1
 	return &idNode{id: id, deg: degree, nbrID: make([]int, degree),
 		nbrMatched: make([]bool, degree), pointedAt: -1, matchedPort: -1}
+}
+
+// BuildNodes implements sim.BulkAlgorithm: the range shares one value
+// slab and the shard's arena, and every node's identifier is its node
+// index — exactly the ID the creation-order counter of NewNode hands
+// out when the engines construct nodes in ascending order, but safe to
+// run on all shards at once.
+func (a IDMatching) BuildNodes(g *graph.Graph, lo, hi int, arena *sim.StateArena, nodes []sim.Node) {
+	slab := make([]idNode, hi-lo)
+	for i := range slab {
+		v := lo + i
+		deg := g.Deg(v)
+		slab[i] = idNode{id: v, deg: deg, nbrID: arenaInts(arena, deg),
+			nbrMatched: arenaBools(arena, deg), pointedAt: -1, matchedPort: -1}
+		nodes[i] = &slab[i]
+	}
 }
 
 // msgID carries the sender's identifier.
@@ -74,8 +96,9 @@ type idNode struct {
 }
 
 var (
-	_ sim.Node         = (*idNode)(nil)
-	_ sim.BufferedNode = (*idNode)(nil)
+	_ sim.Node           = (*idNode)(nil)
+	_ sim.BufferedNode   = (*idNode)(nil)
+	_ sim.OutputAppender = (*idNode)(nil)
 )
 
 func (n *idNode) matched() bool { return n.matchedPort >= 0 }
@@ -176,4 +199,12 @@ func (n *idNode) Output() []int {
 		return []int{n.matchedPort + 1}
 	}
 	return nil
+}
+
+// AppendOutput implements sim.OutputAppender.
+func (n *idNode) AppendOutput(dst []int) []int {
+	if n.matchedPort >= 0 {
+		return append(dst, n.matchedPort+1)
+	}
+	return dst
 }

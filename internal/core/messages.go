@@ -1,11 +1,46 @@
 package core
 
+import (
+	"eds/internal/sim"
+)
+
 // Message payloads exchanged by the algorithms. They are deliberately
 // tiny: the port-numbering model does not bound message size, but every
 // protocol in the paper needs only a few bits per round.
 
 // msgMark marks an edge as selected (Theorem 3).
 type msgMark struct{}
+
+// labelMsgLimit bounds the (port, degree) interning table below. 64×64
+// covers every port of every node of degree ≤ 64 — all of the paper's
+// regimes (Δ is a small constant) — in a 4096-entry table.
+const labelMsgLimit = 64
+
+// labelMsgs holds pre-boxed msgLabel values. Boxing a two-word struct
+// into sim.Message heap-allocates, and the label-exchange round sends
+// one per port — O(ports) allocations per run without interning. All
+// other payloads are zero- or one-byte structs, which the runtime boxes
+// allocation-free.
+var labelMsgs = func() [labelMsgLimit * labelMsgLimit]sim.Message {
+	var t [labelMsgLimit * labelMsgLimit]sim.Message
+	for p := 1; p <= labelMsgLimit; p++ {
+		for d := 1; d <= labelMsgLimit; d++ {
+			t[(p-1)*labelMsgLimit+(d-1)] = msgLabel{Port: p, Deg: d}
+		}
+	}
+	return t
+}()
+
+// labelMsg returns msgLabel{port, deg} boxed as a sim.Message, interned
+// for ports and degrees up to labelMsgLimit; rarer larger values box
+// normally. A free function on purpose: the interning table is shared
+// immutable data, not node state.
+func labelMsg(port, deg int) sim.Message {
+	if port <= labelMsgLimit && deg <= labelMsgLimit {
+		return labelMsgs[(port-1)*labelMsgLimit+(deg-1)]
+	}
+	return msgLabel{Port: port, Deg: deg}
+}
 
 // msgLabel carries the sender's port number and degree over that port; the
 // receiving endpoint learns the edge's label pair and its neighbour's

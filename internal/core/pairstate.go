@@ -7,7 +7,9 @@ import (
 // pairState is the node state shared by the protocols built on
 // distinguishable edges (Theorems 4 and 5): the label-exchange results,
 // the distinguishable port, and the per-port membership flags of the set
-// under construction.
+// under construction. The slices are carved from the engine's
+// StateArena by init (heap-backed on the legacy NewNode path), so a
+// slab of pairStates costs no per-node allocations.
 type pairState struct {
 	deg     int
 	peer    []int // peer port number per own port
@@ -22,13 +24,11 @@ type pairState struct {
 	probeOther  bool
 }
 
-func newPairState(degree int) *pairState {
-	return &pairState{
-		deg:     degree,
-		peer:    make([]int, degree),
-		peerDeg: make([]int, degree),
-		inSet:   make([]bool, degree),
-	}
+func (st *pairState) init(deg int, arena *sim.StateArena) {
+	st.deg = deg
+	st.peer = arenaInts(arena, deg)
+	st.peerDeg = arenaInts(arena, deg)
+	st.inSet = arenaBools(arena, deg)
 }
 
 func (st *pairState) covered() bool {
@@ -50,18 +50,25 @@ func (st *pairState) degInSet() int {
 	return c
 }
 
+// The step builders below are parametric in the program's state type S,
+// reached through a pair accessor: RegularOdd runs them on a bare
+// pairState, General on the pairState embedded in its own state. The
+// accessor is resolved once per program build, not per node.
+
 // labelExchangeStep is the common first round: every node tells each
 // neighbour through which port it is talking to it and what its degree
 // is. Both endpoints of every edge learn the edge's label pair, so the
 // distinguishable port follows locally (Section 5).
-func labelExchangeStep(st *pairState) step {
-	return step{
-		send: func(buf []sim.Message) {
+func labelExchangeStep[S any](pair func(*S) *pairState) pstep[S] {
+	return pstep[S]{
+		send: func(s *S, buf []sim.Message) {
+			st := pair(s)
 			for idx := range buf {
-				buf[idx] = msgLabel{Port: idx + 1, Deg: st.deg}
+				buf[idx] = labelMsg(idx+1, st.deg)
 			}
 		},
-		recv: func(inbox []sim.Message) {
+		recv: func(s *S, inbox []sim.Message) {
+			st := pair(s)
 			for idx, m := range inbox {
 				lbl := m.(msgLabel)
 				st.peer[idx] = lbl.Port
@@ -91,16 +98,20 @@ func addOnlyIfNeitherCovered(p, r bool) bool { return !p && !r }
 // the joint decision. When i == j the edge may be proposed from both
 // sides at once; the rule is symmetric, so both sides decide identically
 // and the updates are idempotent. By Lemma 2 the processed edges form a
-// matching, making the parallel decisions independent.
-func phaseIAddSteps(st *pairState, i, j int, rule addRule) []step {
-	propose := step{
-		send: func(buf []sim.Message) {
+// matching, making the parallel decisions independent. Nodes whose
+// degree is below the pair indices sit the rounds out via the runtime
+// guards, so one compiled schedule serves a whole degree class.
+func phaseIAddSteps[S any](pair func(*S) *pairState, i, j int, rule addRule) []pstep[S] {
+	propose := pstep[S]{
+		send: func(s *S, buf []sim.Message) {
+			st := pair(s)
 			if st.dp != i || st.dpPeer != j {
 				return
 			}
 			buf[i-1] = msgPropose{Covered: st.covered()}
 		},
-		recv: func(inbox []sim.Message) {
+		recv: func(s *S, inbox []sim.Message) {
+			st := pair(s)
 			st.gotProposal = false
 			if j <= st.deg {
 				if m, ok := inbox[j-1].(msgPropose); ok {
@@ -110,8 +121,9 @@ func phaseIAddSteps(st *pairState, i, j int, rule addRule) []step {
 			}
 		},
 	}
-	respond := step{
-		send: func(buf []sim.Message) {
+	respond := pstep[S]{
+		send: func(s *S, buf []sim.Message) {
+			st := pair(s)
 			if !st.gotProposal {
 				return
 			}
@@ -121,7 +133,8 @@ func phaseIAddSteps(st *pairState, i, j int, rule addRule) []step {
 				st.inSet[j-1] = true
 			}
 		},
-		recv: func(inbox []sim.Message) {
+		recv: func(s *S, inbox []sim.Message) {
+			st := pair(s)
 			if st.dp == i && st.dpPeer == j {
 				if m, ok := inbox[i-1].(msgRespond); ok && m.Add {
 					st.inSet[i-1] = true
@@ -130,22 +143,24 @@ func phaseIAddSteps(st *pairState, i, j int, rule addRule) []step {
 			st.gotProposal = false
 		},
 	}
-	return []step{propose, respond}
+	return []pstep[S]{propose, respond}
 }
 
 // phaseIIPruneSteps processes D ∩ M_G(i,j) in phase II of Theorem 4: the
 // proposer probes its distinguishable edge if the edge is still in D,
 // both endpoints report whether they stay covered without it, and the
 // edge is removed exactly when both do.
-func phaseIIPruneSteps(st *pairState, i, j int) []step {
-	probe := step{
-		send: func(buf []sim.Message) {
+func phaseIIPruneSteps[S any](pair func(*S) *pairState, i, j int) []pstep[S] {
+	probe := pstep[S]{
+		send: func(s *S, buf []sim.Message) {
+			st := pair(s)
 			if st.dp != i || st.dpPeer != j || !st.inSet[i-1] {
 				return
 			}
 			buf[i-1] = msgProbe{OtherCovered: st.degInSet() >= 2}
 		},
-		recv: func(inbox []sim.Message) {
+		recv: func(s *S, inbox []sim.Message) {
+			st := pair(s)
 			st.gotProbe = false
 			if j <= st.deg {
 				if m, ok := inbox[j-1].(msgProbe); ok {
@@ -155,8 +170,9 @@ func phaseIIPruneSteps(st *pairState, i, j int) []step {
 			}
 		},
 	}
-	respond := step{
-		send: func(buf []sim.Message) {
+	respond := pstep[S]{
+		send: func(s *S, buf []sim.Message) {
+			st := pair(s)
 			if !st.gotProbe {
 				return
 			}
@@ -166,7 +182,8 @@ func phaseIIPruneSteps(st *pairState, i, j int) []step {
 				st.inSet[j-1] = false
 			}
 		},
-		recv: func(inbox []sim.Message) {
+		recv: func(s *S, inbox []sim.Message) {
+			st := pair(s)
 			if st.dp == i && st.dpPeer == j {
 				if m, ok := inbox[i-1].(msgProbeRespond); ok && m.Remove {
 					st.inSet[i-1] = false
@@ -175,5 +192,5 @@ func phaseIIPruneSteps(st *pairState, i, j int) []step {
 			st.gotProbe = false
 		},
 	}
-	return []step{probe, respond}
+	return []pstep[S]{probe, respond}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"eds/internal/graph"
 	"eds/internal/sim"
 )
 
@@ -14,7 +15,10 @@ import (
 // node contributes at most one port-1 edge, |D| <= |V|.
 type PortOne struct{}
 
-var _ sim.Algorithm = PortOne{}
+var (
+	_ sim.Algorithm     = PortOne{}
+	_ sim.BulkAlgorithm = PortOne{}
+)
 
 // Name implements sim.Algorithm.
 func (PortOne) Name() string { return "portone" }
@@ -22,29 +26,53 @@ func (PortOne) Name() string { return "portone" }
 // Rounds returns the round count of the algorithm: always 1.
 func (PortOne) Rounds(int) int { return 1 }
 
+// portOneState is one node's flag vector of chosen ports.
+type portOneState struct {
+	chosen []bool
+}
+
 // NewNode implements sim.Algorithm.
-func (PortOne) NewNode(degree int) sim.Node {
-	chosen := make([]bool, degree)
-	n := &scriptNode{deg: degree}
-	n.steps = []step{{
-		send: func(buf []sim.Message) {
-			if degree >= 1 {
-				buf[0] = msgMark{}
-			}
-		},
-		recv: func(inbox []sim.Message) {
-			if degree >= 1 {
-				chosen[0] = true
-			}
-			for idx, m := range inbox {
-				if _, ok := m.(msgMark); ok {
-					chosen[idx] = true
-				}
-			}
-		},
-	}}
-	n.output = func() []int { return chosenPorts(chosen) }
-	return n
+func (a PortOne) NewNode(degree int) sim.Node {
+	return newProgNode(portOneProgram(a.Name()), degree)
+}
+
+// BuildNodes implements sim.BulkAlgorithm.
+func (a PortOne) BuildNodes(g *graph.Graph, lo, hi int, arena *sim.StateArena, nodes []sim.Node) {
+	prog := portOneProgram(a.Name())
+	buildProgNodes(g, lo, hi, arena, nodes, func(int) *program[portOneState] { return prog })
+}
+
+// portOneProgram compiles the single mark round. The schedule is
+// degree-independent (isolated nodes just see an empty buffer), so one
+// program serves every node.
+func portOneProgram(kind string) *program[portOneState] {
+	return cachedProgram(kind, 0, func() *program[portOneState] {
+		return &program[portOneState]{
+			init: func(st *portOneState, deg int, arena *sim.StateArena) {
+				st.chosen = arenaBools(arena, deg)
+			},
+			steps: []pstep[portOneState]{{
+				send: func(st *portOneState, buf []sim.Message) {
+					if len(buf) >= 1 {
+						buf[0] = msgMark{}
+					}
+				},
+				recv: func(st *portOneState, inbox []sim.Message) {
+					if len(inbox) >= 1 {
+						st.chosen[0] = true
+					}
+					for idx, m := range inbox {
+						if _, ok := m.(msgMark); ok {
+							st.chosen[idx] = true
+						}
+					}
+				},
+			}},
+			output: func(st *portOneState, _ int, dst []int) []int {
+				return appendChosen(dst, st.chosen)
+			},
+		}
+	})
 }
 
 // AllEdges is the trivial algorithm that selects every edge, with no
@@ -53,7 +81,10 @@ func (PortOne) NewNode(degree int) sim.Node {
 // must be in any edge dominating set.
 type AllEdges struct{}
 
-var _ sim.Algorithm = AllEdges{}
+var (
+	_ sim.Algorithm     = AllEdges{}
+	_ sim.BulkAlgorithm = AllEdges{}
+)
 
 // Name implements sim.Algorithm.
 func (AllEdges) Name() string { return "alledges" }
@@ -62,25 +93,27 @@ func (AllEdges) Name() string { return "alledges" }
 func (AllEdges) Rounds(int) int { return 0 }
 
 // NewNode implements sim.Algorithm.
-func (AllEdges) NewNode(degree int) sim.Node {
-	n := &scriptNode{deg: degree}
-	n.output = func() []int {
-		out := make([]int, degree)
-		for i := range out {
-			out[i] = i + 1
-		}
-		return out
-	}
-	return n
+func (a AllEdges) NewNode(degree int) sim.Node {
+	return newProgNode(allEdgesProgram(a.Name()), degree)
 }
 
-// chosenPorts converts a per-port flag vector into a 1-based port list.
-func chosenPorts(chosen []bool) []int {
-	out := make([]int, 0, len(chosen))
-	for idx, c := range chosen {
-		if c {
-			out = append(out, idx+1)
+// BuildNodes implements sim.BulkAlgorithm.
+func (a AllEdges) BuildNodes(g *graph.Graph, lo, hi int, arena *sim.StateArena, nodes []sim.Node) {
+	prog := allEdgesProgram(a.Name())
+	buildProgNodes(g, lo, hi, arena, nodes, func(int) *program[struct{}] { return prog })
+}
+
+// allEdgesProgram compiles the empty schedule: born done, every port
+// chosen.
+func allEdgesProgram(kind string) *program[struct{}] {
+	return cachedProgram(kind, 0, func() *program[struct{}] {
+		return &program[struct{}]{
+			output: func(_ *struct{}, deg int, dst []int) []int {
+				for i := 1; i <= deg; i++ {
+					dst = append(dst, i)
+				}
+				return dst
+			},
 		}
-	}
-	return out
+	})
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"eds/internal/graph"
 	"eds/internal/sim"
 )
 
@@ -27,7 +28,10 @@ type RegularOdd struct {
 	SkipPruning bool
 }
 
-var _ sim.Algorithm = RegularOdd{}
+var (
+	_ sim.Algorithm     = RegularOdd{}
+	_ sim.BulkAlgorithm = RegularOdd{}
+)
 
 // Name implements sim.Algorithm.
 func (a RegularOdd) Name() string {
@@ -47,21 +51,47 @@ func (a RegularOdd) Rounds(d int) int {
 
 // NewNode implements sim.Algorithm.
 func (a RegularOdd) NewNode(degree int) sim.Node {
-	st := newPairState(degree)
-	node := &scriptNode{deg: degree}
-	node.steps = append(node.steps, labelExchangeStep(st))
-	for i := 1; i <= degree; i++ {
-		for j := 1; j <= degree; j++ {
-			node.steps = append(node.steps, phaseIAddSteps(st, i, j, addUnlessBothCovered)...)
+	return newProgNode(regularOddProgram(a.Name(), degree, a.SkipPruning), degree)
+}
+
+// BuildNodes implements sim.BulkAlgorithm: the whole node range shares
+// one value slab and the shard's arena, with one compiled program per
+// degree class.
+func (a RegularOdd) BuildNodes(g *graph.Graph, lo, hi int, arena *sim.StateArena, nodes []sim.Node) {
+	name, skip := a.Name(), a.SkipPruning
+	buildProgNodes(g, lo, hi, arena, nodes, func(deg int) *program[pairState] {
+		return regularOddProgram(name, deg, skip)
+	})
+}
+
+// regularOddProgram compiles (once per degree) the Theorem 4 schedule:
+// label exchange, then two rounds per (i,j) pair for phase I, and — with
+// pruning — two more per pair for phase II. The schedule is derived
+// purely from the node's own degree, so degree is the cache key.
+func regularOddProgram(kind string, degree int, skipPruning bool) *program[pairState] {
+	return cachedProgram(kind, degree, func() *program[pairState] {
+		self := func(st *pairState) *pairState { return st }
+		p := &program[pairState]{
+			init: func(st *pairState, deg int, arena *sim.StateArena) {
+				st.init(deg, arena)
+			},
+			output: func(st *pairState, _ int, dst []int) []int {
+				return appendChosen(dst, st.inSet)
+			},
 		}
-	}
-	if !a.SkipPruning {
+		p.steps = append(p.steps, labelExchangeStep(self))
 		for i := 1; i <= degree; i++ {
 			for j := 1; j <= degree; j++ {
-				node.steps = append(node.steps, phaseIIPruneSteps(st, i, j)...)
+				p.steps = append(p.steps, phaseIAddSteps(self, i, j, addUnlessBothCovered)...)
 			}
 		}
-	}
-	node.output = func() []int { return chosenPorts(st.inSet) }
-	return node
+		if !skipPruning {
+			for i := 1; i <= degree; i++ {
+				for j := 1; j <= degree; j++ {
+					p.steps = append(p.steps, phaseIIPruneSteps(self, i, j)...)
+				}
+			}
+		}
+		return p
+	})
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"eds/internal/graph"
 	"eds/internal/sim"
 )
 
@@ -27,7 +28,10 @@ type VertexCover3 struct {
 	Delta int
 }
 
-var _ sim.Algorithm = VertexCover3{}
+var (
+	_ sim.Algorithm     = VertexCover3{}
+	_ sim.BulkAlgorithm = VertexCover3{}
+)
 
 // Name implements sim.Algorithm.
 func (a VertexCover3) Name() string { return fmt.Sprintf("vertexcover3(Δ=%d)", a.Delta) }
@@ -37,25 +41,39 @@ func (a VertexCover3) Rounds(int) int { return 2 * a.Delta }
 
 // NewNode implements sim.Algorithm.
 func (a VertexCover3) NewNode(degree int) sim.Node {
-	if a.Delta < 1 {
-		panic(fmt.Sprintf("core: VertexCover3 needs Δ >= 1, got %d", a.Delta))
+	return newProgNode(vertexCover3Program(a.Name(), a.Delta), degree)
+}
+
+// BuildNodes implements sim.BulkAlgorithm.
+func (a VertexCover3) BuildNodes(g *graph.Graph, lo, hi int, arena *sim.StateArena, nodes []sim.Node) {
+	prog := vertexCover3Program(a.Name(), a.Delta)
+	buildProgNodes(g, lo, hi, arena, nodes, func(int) *program[generalState] { return prog })
+}
+
+// vertexCover3Program compiles (once per Δ) the 2Δ-round proposal
+// schedule. It reuses the phase III machinery of Theorem 5 on the full
+// generalState; the phase I/II fields simply stay at their zero values.
+func vertexCover3Program(kind string, delta int) *program[generalState] {
+	if delta < 1 {
+		panic(fmt.Sprintf("core: VertexCover3 needs Δ >= 1, got %d", delta))
 	}
-	st := &generalNode{
-		pairState:    newPairState(degree),
-		delta:        a.Delta,
-		inP:          make([]bool, degree),
-		nbrCovered:   make([]bool, degree),
-		proposedPort: -1,
-	}
-	// Every port is eligible: the 2-matching is computed on the whole
-	// graph, not on an M-uncovered subgraph.
-	for idx := 0; idx < degree; idx++ {
-		st.eligible = append(st.eligible, idx)
-	}
-	node := &scriptNode{deg: degree}
-	for c := 0; c < a.Delta; c++ {
-		node.steps = append(node.steps, phaseIIIProposeStep(st), phaseIIIAnswerStep(st))
-	}
-	node.output = func() []int { return chosenPorts(st.inP) }
-	return node
+	return cachedProgram(kind, 0, func() *program[generalState] {
+		p := &program[generalState]{
+			init: func(st *generalState, deg int, arena *sim.StateArena) {
+				initGeneralState(st, deg, arena)
+				// Every port is eligible: the 2-matching is computed on the
+				// whole graph, not on an M-uncovered subgraph.
+				for idx := 0; idx < deg; idx++ {
+					st.eligible = append(st.eligible, idx)
+				}
+			},
+			output: func(st *generalState, _ int, dst []int) []int {
+				return appendChosen(dst, st.inP)
+			},
+		}
+		for c := 0; c < delta; c++ {
+			p.steps = append(p.steps, phaseIIIProposeStep(), phaseIIIAnswerStep())
+		}
+		return p
+	})
 }

@@ -72,6 +72,12 @@ type EngineRow struct {
 	Rounds   int
 	Messages int
 	Elapsed  time.Duration
+	// Setup and RoundTime split Elapsed via sim.WithTimings: node
+	// construction versus the round loop. The remainder is output
+	// collection. The split shows where an engine's time goes — the
+	// sharded engine parallelizes all three phases.
+	Setup     time.Duration
+	RoundTime time.Duration
 }
 
 // EngineScaling times every named engine on the same random d-regular
@@ -104,8 +110,9 @@ func EngineScaling(seed int64, d int, sizes []int, engines []string) ([]EngineRo
 			if !ok {
 				return nil, fmt.Errorf("harness: unknown engine %q", name)
 			}
+			var split sim.Timings
 			start := time.Now()
-			res, err := run(g, alg)
+			res, err := run(g, alg, sim.WithTimings(&split))
 			elapsed := time.Since(start)
 			if err != nil {
 				return nil, fmt.Errorf("harness: engine %s on n=%d: %w", name, n, err)
@@ -117,12 +124,14 @@ func EngineScaling(seed int64, d int, sizes []int, engines []string) ([]EngineRo
 					name, n, res.Rounds, ref.Rounds, res.Messages, ref.Messages)
 			}
 			rows = append(rows, EngineRow{
-				Engine:   name,
-				D:        d,
-				N:        n,
-				Rounds:   res.Rounds,
-				Messages: res.Messages,
-				Elapsed:  elapsed,
+				Engine:    name,
+				D:         d,
+				N:         n,
+				Rounds:    res.Rounds,
+				Messages:  res.Messages,
+				Elapsed:   elapsed,
+				Setup:     split.Setup,
+				RoundTime: split.Rounds,
 			})
 		}
 	}
@@ -132,10 +141,10 @@ func EngineScaling(seed int64, d int, sizes []int, engines []string) ([]EngineRo
 // FormatEngineScaling renders engine rows as an aligned table.
 func FormatEngineScaling(rows []EngineRow) string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "%-12s %4s %8s %8s %10s %12s\n", "engine", "d", "n", "rounds", "messages", "elapsed")
-	sb.WriteString(strings.Repeat("-", 60) + "\n")
+	fmt.Fprintf(&sb, "%-12s %4s %8s %8s %10s %12s %12s %12s\n", "engine", "d", "n", "rounds", "messages", "elapsed", "setup", "rounds-time")
+	sb.WriteString(strings.Repeat("-", 86) + "\n")
 	for _, r := range rows {
-		fmt.Fprintf(&sb, "%-12s %4d %8d %8d %10d %12s\n", r.Engine, r.D, r.N, r.Rounds, r.Messages, r.Elapsed)
+		fmt.Fprintf(&sb, "%-12s %4d %8d %8d %10d %12s %12s %12s\n", r.Engine, r.D, r.N, r.Rounds, r.Messages, r.Elapsed, r.Setup, r.RoundTime)
 	}
 	return sb.String()
 }

@@ -39,6 +39,7 @@ func runFixture(t *testing.T, a *analysis.Analyzer, name string) {
 
 func TestAlgDeterminism(t *testing.T) { runFixture(t, lint.AlgDeterminism, "algdet") }
 func TestOutboxAlias(t *testing.T)    { runFixture(t, lint.OutboxAlias, "outboxalias") }
+func TestArenaAlias(t *testing.T)     { runFixture(t, lint.ArenaAlias, "arenaalias") }
 func TestRoundCtx(t *testing.T)       { runFixture(t, lint.RoundCtx, "roundctx") }
 func TestEngineKey(t *testing.T)      { runFixture(t, lint.EngineKey, "enginekey") }
 
@@ -65,8 +66,8 @@ func TestAnalyzerMetadata(t *testing.T) {
 		}
 		seen[a.Name] = true
 	}
-	if len(seen) != 4 {
-		t.Errorf("want the 4 edsvet analyzers, got %d", len(seen))
+	if len(seen) != 5 {
+		t.Errorf("want the 5 edsvet analyzers, got %d", len(seen))
 	}
 }
 

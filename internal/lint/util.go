@@ -17,6 +17,7 @@ func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		AlgDeterminism,
 		OutboxAlias,
+		ArenaAlias,
 		RoundCtx,
 		EngineKey,
 	}

@@ -27,7 +27,7 @@ import (
 func waitForMisses(t *testing.T, s *Server, n int64) {
 	t.Helper()
 	waitFor(t, func() bool {
-		_, _, _, misses, _, _ := s.st.snapshot()
+		_, _, _, misses, _, _, _, _ := s.st.snapshot()
 		return misses >= n
 	})
 }
@@ -81,7 +81,7 @@ func TestServerCoalescing(t *testing.T) {
 	if extra := len(started); extra != 0 {
 		t.Errorf("%d extra engine runs started; duplicates must share the leader's run", extra)
 	}
-	_, _, _, _, coalescedStat, _ := s.st.snapshot()
+	_, _, _, _, coalescedStat, _, _, _ := s.st.snapshot()
 	if coalescedStat != int64(followers) {
 		t.Errorf("statsz coalesced = %d, want %d", coalescedStat, followers)
 	}
@@ -91,10 +91,10 @@ func TestServerCoalescingSharesDeterministicError(t *testing.T) {
 	s := New(Config{Workers: 4, CacheEntries: -1})
 	gate := make(chan struct{})
 	started := make(chan struct{}, 8)
-	s.runEngine = func(ctx context.Context, engine string, shards int, g *graph.Graph, a sim.Algorithm) (*sim.Result, error) {
+	s.runEngine = func(ctx context.Context, engine string, shards int, g *graph.Graph, a sim.Algorithm) (*sim.Result, sim.Timings, error) {
 		started <- struct{}{}
 		<-gate
-		return nil, errors.New("deterministic failure for this graph")
+		return nil, sim.Timings{}, errors.New("deterministic failure for this graph")
 	}
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()

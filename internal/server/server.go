@@ -41,6 +41,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"strconv"
 	"time"
@@ -79,6 +80,11 @@ type Config struct {
 	// CacheEntries is the LRU result-cache capacity (default 256; < 0
 	// disables the cache).
 	CacheEntries int
+	// EnablePprof mounts net/http/pprof's handlers under /debug/pprof/.
+	// Off by default: the profiling endpoints expose heap contents and
+	// let any client start CPU profiles, so they are opt-in (edsd's
+	// -pprof flag) and belong behind the operational port only.
+	EnablePprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -119,9 +125,10 @@ type Server struct {
 
 	draining chan struct{} // closed by StartDraining
 
-	// runEngine executes a parsed request on an engine; tests substitute
-	// it to script slow or failing runs deterministically.
-	runEngine func(ctx context.Context, engine string, shards int, g *graph.Graph, a sim.Algorithm) (*sim.Result, error)
+	// runEngine executes a parsed request on an engine and reports the
+	// run's setup/rounds/outputs wall-time split; tests substitute it to
+	// script slow or failing runs deterministically.
+	runEngine func(ctx context.Context, engine string, shards int, g *graph.Graph, a sim.Algorithm) (*sim.Result, sim.Timings, error)
 }
 
 // New returns a Server with the given configuration.
@@ -141,6 +148,17 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+	if cfg.EnablePprof {
+		// Explicit mounts instead of the package's init-time
+		// DefaultServeMux registration: the server never serves
+		// DefaultServeMux, so importing net/http/pprof alone exposes
+		// nothing — the endpoints exist exactly when this branch runs.
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
@@ -169,16 +187,19 @@ func (s *Server) isDraining() bool {
 	}
 }
 
-func defaultRunEngine(ctx context.Context, engine string, shards int, g *graph.Graph, a sim.Algorithm) (*sim.Result, error) {
-	opts := []sim.Option{sim.WithContext(ctx), sim.WithShards(shards)}
+func defaultRunEngine(ctx context.Context, engine string, shards int, g *graph.Graph, a sim.Algorithm) (*sim.Result, sim.Timings, error) {
+	var split sim.Timings
+	opts := []sim.Option{sim.WithContext(ctx), sim.WithShards(shards), sim.WithTimings(&split)}
 	if engine == "auto" {
-		return sim.RunAuto(g, a, opts...)
+		res, err := sim.RunAuto(g, a, opts...)
+		return res, split, err
 	}
 	run, ok := sim.Engines()[engine]
 	if !ok {
-		return nil, fmt.Errorf("server: unknown engine %q", engine)
+		return nil, split, fmt.Errorf("server: unknown engine %q", engine)
 	}
-	return run(g, a, opts...)
+	res, err := run(g, a, opts...)
+	return res, split, err
 }
 
 // RunResponse is the JSON body of a successful POST /v1/run.
@@ -467,7 +488,7 @@ func (s *Server) leadRun(ctx context.Context, w http.ResponseWriter, req runRequ
 	defer release()
 
 	start := time.Now()
-	res, err := s.runEngine(ctx, req.engine, req.shards, g, alg)
+	res, split, err := s.runEngine(ctx, req.engine, req.shards, g, alg)
 	if err != nil {
 		if errors.Is(err, sim.ErrCanceled) {
 			s.flights.finish(key, f, flightResult{})
@@ -486,6 +507,7 @@ func (s *Server) leadRun(ctx context.Context, w http.ResponseWriter, req runRequ
 		return
 	}
 	s.st.recordLatency(alg.Name(), time.Since(start))
+	s.st.recordPhases(split)
 
 	respBody, err := buildResponse(g, alg.Name(), bound, res, req.includeEdges)
 	if err != nil {
@@ -562,12 +584,23 @@ type statszResponse struct {
 		Capacity int `json:"capacity"`
 	} `json:"queue"`
 	LatencyMs map[string]histogramSnapshot `json:"latency_ms"`
-	Draining  bool                         `json:"draining"`
+	// EngineTime is the cumulative wall-time split of every completed
+	// run, as reported by sim.WithTimings: setup (node construction and
+	// state initialisation), the round loop, and output collection. The
+	// ratio tells an operator whether the serving mix is dominated by run
+	// construction or by protocol rounds.
+	EngineTime struct {
+		Runs      int64   `json:"runs"`
+		SetupMs   float64 `json:"setup_ms"`
+		RoundsMs  float64 `json:"rounds_ms"`
+		OutputsMs float64 `json:"outputs_ms"`
+	} `json:"engine_time"`
+	Draining bool `json:"draining"`
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	var resp statszResponse
-	total, byStatus, hits, misses, coalesced, perAlg := s.st.snapshot()
+	total, byStatus, hits, misses, coalesced, perAlg, phases, runs := s.st.snapshot()
 	resp.Requests.Total = total
 	resp.Requests.ByStatus = byStatus
 	resp.Cache.Hits = hits
@@ -582,6 +615,10 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	resp.Queue.Depth = len(s.queue)
 	resp.Queue.Capacity = s.cfg.QueueDepth
 	resp.LatencyMs = perAlg
+	resp.EngineTime.Runs = runs
+	resp.EngineTime.SetupMs = float64(phases.Setup) / float64(time.Millisecond)
+	resp.EngineTime.RoundsMs = float64(phases.Rounds) / float64(time.Millisecond)
+	resp.EngineTime.OutputsMs = float64(phases.Outputs) / float64(time.Millisecond)
 	resp.Draining = s.isDraining()
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(resp)

@@ -227,14 +227,15 @@ func gateServer(cfg Config) (*Server, chan struct{}, chan struct{}) {
 	s := New(cfg)
 	gate := make(chan struct{})
 	started := make(chan struct{}, 64)
-	s.runEngine = func(ctx context.Context, engine string, shards int, g *graph.Graph, a sim.Algorithm) (*sim.Result, error) {
+	s.runEngine = func(ctx context.Context, engine string, shards int, g *graph.Graph, a sim.Algorithm) (*sim.Result, sim.Timings, error) {
 		started <- struct{}{}
 		select {
 		case <-gate:
 			return defaultRunEngine(ctx, "sequential", 0, g, a)
 		case <-ctx.Done():
 			// Produce the exact error a real engine would.
-			return sim.RunSequential(g, a, sim.WithContext(ctx))
+			res, err := sim.RunSequential(g, a, sim.WithContext(ctx))
+			return res, sim.Timings{}, err
 		}
 	}
 	return s, gate, started
@@ -417,6 +418,55 @@ func TestServerStatsz(t *testing.T) {
 	if st.Draining {
 		t.Error("draining reported before drain")
 	}
+	// The engine-time split covers exactly the executed (non-cached,
+	// non-bogus) run. Sub-millisecond runs can legitimately report 0 ms,
+	// so only the run count and non-negativity are pinned here.
+	if st.EngineTime.Runs != 1 {
+		t.Errorf("engine_time.runs = %d, want 1", st.EngineTime.Runs)
+	}
+	if st.EngineTime.SetupMs < 0 || st.EngineTime.RoundsMs < 0 || st.EngineTime.OutputsMs < 0 {
+		t.Errorf("negative engine_time split: %+v", st.EngineTime)
+	}
+}
+
+// TestServerPprofGating pins the profiling endpoints' default-off
+// posture: /debug/pprof/ must 404 unless Config.EnablePprof (edsd's
+// -pprof flag) opted in — the handlers expose heap contents and let any
+// client start CPU profiles.
+func TestServerPprofGating(t *testing.T) {
+	t.Run("off by default", func(t *testing.T) {
+		ts := httptest.NewServer(New(Config{}).Handler())
+		defer ts.Close()
+		for _, path := range []string{"/debug/pprof/", "/debug/pprof/heap", "/debug/pprof/cmdline", "/debug/pprof/symbol"} {
+			resp, err := ts.Client().Get(ts.URL + path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusNotFound {
+				t.Errorf("GET %s = %d without EnablePprof, want 404", path, resp.StatusCode)
+			}
+		}
+	})
+	t.Run("mounted when enabled", func(t *testing.T) {
+		ts := httptest.NewServer(New(Config{EnablePprof: true}).Handler())
+		defer ts.Close()
+		for _, path := range []string{"/debug/pprof/", "/debug/pprof/heap", "/debug/pprof/goroutine"} {
+			resp, err := ts.Client().Get(ts.URL + path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("GET %s = %d with EnablePprof, want 200", path, resp.StatusCode)
+			}
+		}
+		// The serving API is unaffected by the extra mounts.
+		resp, body := postRun(t, ts.Client(), ts.URL, "", graphBytes(t, gen.Cycle(8)))
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("POST /v1/run with pprof enabled = %d (body %s)", resp.StatusCode, body)
+		}
+	})
 }
 
 func TestResultCacheLRU(t *testing.T) {

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"eds/internal/sim"
 )
 
 // histogram is a log-2 latency histogram in milliseconds: bucket k
@@ -70,6 +72,13 @@ type stats struct {
 	cacheMisses int64
 	coalesced   int64
 	perAlg      map[string]*histogram
+	// phases accumulates the engines' setup/rounds/outputs wall-time
+	// split (sim.WithTimings) over every completed run, exposing where
+	// serving time actually goes: a setup-heavy mix means run construction
+	// dominates and the arena/bulk path is the lever; a rounds-heavy mix
+	// means the protocol itself does.
+	phases sim.Timings
+	runs   int64
 }
 
 func newStats() *stats {
@@ -101,6 +110,16 @@ func (s *stats) recordCoalesced() {
 	s.mu.Unlock()
 }
 
+// recordPhases accumulates one completed run's phase split.
+func (s *stats) recordPhases(split sim.Timings) {
+	s.mu.Lock()
+	s.phases.Setup += split.Setup
+	s.phases.Rounds += split.Rounds
+	s.phases.Outputs += split.Outputs
+	s.runs++
+	s.mu.Unlock()
+}
+
 func (s *stats) recordLatency(alg string, d time.Duration) {
 	s.mu.Lock()
 	h := s.perAlg[alg]
@@ -113,7 +132,7 @@ func (s *stats) recordLatency(alg string, d time.Duration) {
 }
 
 // snapshot returns the /statsz payload fragments owned by stats.
-func (s *stats) snapshot() (requests int64, byStatus map[string]int64, hits, misses, coalesced int64, perAlg map[string]histogramSnapshot) {
+func (s *stats) snapshot() (requests int64, byStatus map[string]int64, hits, misses, coalesced int64, perAlg map[string]histogramSnapshot, phases sim.Timings, runs int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	byStatus = make(map[string]int64, len(s.byStatus))
@@ -124,5 +143,5 @@ func (s *stats) snapshot() (requests int64, byStatus map[string]int64, hits, mis
 	for alg, h := range s.perAlg {
 		perAlg[alg] = h.snapshot()
 	}
-	return s.requests, byStatus, s.cacheHits, s.cacheMisses, s.coalesced, perAlg
+	return s.requests, byStatus, s.cacheHits, s.cacheMisses, s.coalesced, perAlg, s.phases, s.runs
 }

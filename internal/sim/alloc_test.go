@@ -11,6 +11,7 @@
 package sim_test
 
 import (
+	"fmt"
 	"math/rand"
 	"runtime"
 	"runtime/debug"
@@ -136,6 +137,94 @@ func TestMigratedAlgorithmsZeroAllocSteadyState(t *testing.T) {
 				if d := samples[i] - samples[i-1]; d != 0 {
 					t.Errorf("round %d: %d allocations in a steady-state round, want 0", i, d)
 				}
+			}
+		})
+	}
+}
+
+// TestSetupAllocationBudget is the setup-phase sibling of
+// TestEngineRoundsAllocationFree: with a warm state pool, a full run —
+// node construction included — must cost O(1) slab allocations, not
+// O(n) per-node ones. The budget is deliberately loose (the arena's
+// chunk list grows by doubling, so a 10× larger graph may cost a few
+// extra chunk allocations) but it is numerically tiny next to n: a
+// regression back to per-node state (one alloc per node would be
+// 100,000 here) trips it by three orders of magnitude.
+//
+// IDMatching is asserted separately: its ID-exchange round boxes one
+// payload-carrying message per port by design (IDs do not fit the
+// interned-value fast path), so its floor is O(ports) — but it must
+// stay within that round's budget and not regress to O(n·rounds).
+func TestSetupAllocationBudget(t *testing.T) {
+	disableGC(t)
+	// Per-run allocation ceiling for the flat-state algorithms, valid
+	// for both sizes. Measured: ≤35 sequential, ≤112 sharded at
+	// n=100,000 (the sharded engine adds per-shard output buffers and
+	// barrier bookkeeping).
+	const budget = 256
+	rng := rand.New(rand.NewSource(7))
+	cases := []struct {
+		name string
+		alg  func() sim.Algorithm
+	}{
+		{"RegularOdd", func() sim.Algorithm { return core.RegularOdd{} }},
+		{"PortOne", func() sim.Algorithm { return core.PortOne{} }},
+		{"General/delta=3", func() sim.Algorithm { return core.NewGeneral(3) }},
+		{"VertexCover3", func() sim.Algorithm { return core.VertexCover3{Delta: 3} }},
+	}
+	engines := []struct {
+		name string
+		run  func(*graph.Graph, sim.Algorithm, ...sim.Option) (*sim.Result, error)
+	}{
+		{"sequential", sim.RunSequential},
+		{"sharded", func(g *graph.Graph, a sim.Algorithm, opts ...sim.Option) (*sim.Result, error) {
+			return sim.RunSharded(g, a, append(opts, sim.WithShards(4))...)
+		}},
+	}
+	for _, n := range []int{10_000, 100_000} {
+		g := gen.MustRandomRegular(rng, n, 3)
+		g.RoutingTable() // build the flat view outside the measurement
+		for _, tc := range cases {
+			for _, e := range engines {
+				t.Run(fmt.Sprintf("n=%d/%s/%s", n, tc.name, e.name), func(t *testing.T) {
+					// Warm-up run: fills the pool so the measured run
+					// reuses every slab and arena chunk.
+					if _, err := e.run(g, tc.alg()); err != nil {
+						t.Fatal(err)
+					}
+					var err error
+					allocs := testing.AllocsPerRun(1, func() {
+						_, err = e.run(g, tc.alg())
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if allocs > budget {
+						t.Errorf("full run allocated %.0f times, budget %d — setup is no longer O(1) slabs", allocs, budget)
+					}
+				})
+			}
+		}
+	}
+	// IDMatching: O(ports) floor from round-0 msgID boxing, nothing more.
+	for _, n := range []int{10_000, 100_000} {
+		g := gen.MustRandomRegular(rng, n, 3)
+		g.RoutingTable()
+		t.Run(fmt.Sprintf("n=%d/IDMatching/sharded", n), func(t *testing.T) {
+			run := func() error {
+				_, err := sim.RunSharded(g, core.NewIDMatching(), sim.WithShards(4))
+				return err
+			}
+			if err := run(); err != nil {
+				t.Fatal(err)
+			}
+			var err error
+			allocs := testing.AllocsPerRun(1, func() { err = run() })
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ceiling := float64(g.NumPorts() + budget); allocs > ceiling {
+				t.Errorf("full run allocated %.0f times, ceiling %.0f (ports + budget) — ID exchange should be the only boxing round", allocs, ceiling)
 			}
 		})
 	}

@@ -182,7 +182,7 @@ func TestTraceCrossEngineEquivalence(t *testing.T) {
 // hook. Now the sharded engine drives the hook itself, so an auto run on
 // a large graph must produce the full trace.
 func TestAutoHonoursHookAboveThreshold(t *testing.T) {
-	n := sim.AutoShardedThreshold + 10
+	n := sim.AutoShardedPorts // cycle: 2n ports, comfortably above the cutover
 	g := gen.Cycle(n)
 	tr, opt := sim.NewTrace()
 	res, err := sim.RunAuto(g, core.PortOne{}, opt)

@@ -1,6 +1,11 @@
 package sim
 
-import "sync"
+import (
+	"fmt"
+	"sync"
+
+	"eds/internal/graph"
+)
 
 // runState is the engine-owned per-execution state: the node slice, the
 // per-node retirement flags, the flat double-buffered message arrays of
@@ -30,6 +35,13 @@ type runState struct {
 	stats    []shardStat
 	bounds   []int
 	hookView [][]Message // per-node outbox windows, built only for hooked runs
+
+	// arenas[s] is shard s's StateArena (index 0 for the unsharded
+	// engines). The chunks persist across pooled runs — acquireState only
+	// rewinds the cursors — so bulk-built node state stops allocating
+	// once a workload's shape has been seen. Held as a slice of values,
+	// one per worker, so parallel construction needs no locks.
+	arenas []StateArena
 
 	// Sharded-engine phase coordination, reused across runs because a
 	// channel cannot be closed and recycled: stop tokens, not close,
@@ -85,6 +97,23 @@ func acquireState(n, ports, p int) *runState {
 	clear(s.done)
 	s.outbox = grow(s.outbox, ports)
 	s.inbox = grow(s.inbox, ports)
+	// One arena per worker (at least one). Unlike grow, the resize must
+	// preserve the surviving elements: each arena carries chunks whose
+	// whole point is reuse across runs.
+	na := p
+	if na < 1 {
+		na = 1
+	}
+	if cap(s.arenas) >= na {
+		s.arenas = s.arenas[:na]
+	} else {
+		old := s.arenas
+		s.arenas = make([]StateArena, na, roundCap(na))
+		copy(s.arenas, old)
+	}
+	for i := range s.arenas {
+		s.arenas[i].reset()
+	}
 	if p > 0 {
 		s.stats = grow(s.stats, p)
 		clear(s.stats)
@@ -102,10 +131,37 @@ func acquireState(n, ports, p int) *runState {
 	return s
 }
 
+// buildNodes constructs the nodes of the half-open range [lo, hi),
+// filling s.nodes and the s.buffered fast-path cache. Bulk-capable
+// algorithms build the whole range at once from the given arena; legacy
+// algorithms go through NewNode one node at a time. Safe for concurrent
+// calls on disjoint ranges with distinct arenas — that is exactly how
+// the sharded engine parallelizes its prologue.
+func (s *runState) buildNodes(g *graph.Graph, a Algorithm, bulk BulkAlgorithm, lo, hi int, arena *StateArena) error {
+	if bulk != nil {
+		nodes := s.nodes[lo:hi:hi]
+		bulk.BuildNodes(g, lo, hi, arena, nodes)
+		for v := lo; v < hi; v++ {
+			if s.nodes[v] == nil {
+				return fmt.Errorf("sim: algorithm %q: BuildNodes left node %d nil", a.Name(), v)
+			}
+			s.buffered[v], _ = s.nodes[v].(BufferedNode)
+		}
+		return nil
+	}
+	for v := lo; v < hi; v++ {
+		s.nodes[v] = a.NewNode(g.Deg(v))
+		s.buffered[v], _ = s.nodes[v].(BufferedNode)
+	}
+	return nil
+}
+
 // release clears every reference the state holds — node pointers and
 // boxed messages — and returns it to the pool. The engines call it via
 // defer after all workers have stopped; a released state must never be
-// touched again by the run that held it.
+// touched again by the run that held it. The arenas stay as they are:
+// their chunks hold only ints and bools, so they pin nothing, and
+// keeping them warm is what makes repeat construction allocation-free.
 func (s *runState) release() {
 	clear(s.nodes)
 	clear(s.buffered)

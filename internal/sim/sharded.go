@@ -6,22 +6,42 @@ import (
 	"eds/internal/graph"
 )
 
-// AutoShardedThreshold is the node count above which engine
-// auto-selection (eds.RunAuto, edsrun -engine auto, the harness scaling
-// studies) switches from the sequential reference to the sharded engine:
-// below it a sequential round is cheaper than the barrier
-// synchronisation, above it the flat-buffer parallelism pays off.
-const AutoShardedThreshold = 4096
+// AutoShardedPorts is the port count (sum of degrees ≈ nodes×degree)
+// at which engine auto-selection (eds.RunAuto, edsrun -engine auto, the
+// harness scaling studies) switches from the sequential reference to
+// the sharded engine. Ports, not nodes, measure the work the sharded
+// engine parallelizes — every phase (node construction, send, routing
+// gather, receive, output collection) is linear in ports — while its
+// overhead is per-round barriers and per-run worker spawns, which are
+// independent of graph size. An earlier node-count threshold (4096)
+// mis-ranked dense graphs small and sparse graphs large; with the
+// parallel prologue the port crossover sits in the low tens of
+// thousands on multi-core hardware.
+const AutoShardedPorts = 16384
 
-// RunAuto picks an engine by graph size — the sequential reference at or
-// below AutoShardedThreshold nodes, the sharded engine above it — and is
-// the single home of that policy for the facade, the CLI, the server,
-// and the harness studies. Every engine returns identical Results, so
-// the choice affects only wall-clock time; both engines honour
+// EngineChoice is RunAuto's policy as a pure function of the run's
+// setup volume (n nodes, ports = sum of degrees) and the available
+// parallelism: "sequential" when only one CPU is usable or the graph is
+// too small for the barrier overhead to pay off, "sharded" otherwise.
+// Exported so the decision boundary is pinned by a table-driven test
+// instead of re-implemented by callers.
+func EngineChoice(n, ports, procs int) string {
+	if procs <= 1 || ports < AutoShardedPorts {
+		return "sequential"
+	}
+	return "sharded"
+}
+
+// RunAuto picks an engine by setup volume via EngineChoice — the
+// sequential reference for small graphs or single-CPU processes, the
+// sharded engine for large graphs on multi-core — and is the single
+// home of that policy for the facade, the CLI, the server, and the
+// harness studies. Every engine returns identical Results, so the
+// choice affects only wall-clock time; both engines honour
 // WithRoundHook and WithContext, so hooked or cancellable runs take the
 // same path as any other.
 func RunAuto(g *graph.Graph, a Algorithm, opts ...Option) (*Result, error) {
-	if g.N() > AutoShardedThreshold {
+	if EngineChoice(g.N(), g.NumPorts(), runtime.GOMAXPROCS(0)) == "sharded" {
 		return RunSharded(g, a, opts...)
 	}
 	return RunSequential(g, a, opts...)
@@ -52,6 +72,7 @@ const (
 	phaseInit
 	phaseSend
 	phaseRecv
+	phaseOutput
 )
 
 // shardedRun is the per-run coordination of the sharded engine: p
@@ -62,13 +83,15 @@ const (
 // channel send/receive pair orders those writes before the workers'
 // reads.
 type shardedRun struct {
-	st    *runState
-	g     *graph.Graph
-	a     Algorithm
-	off   []int32
-	route []int32
-	p     int
-	round int
+	st      *runState
+	g       *graph.Graph
+	a       Algorithm
+	bulk    BulkAlgorithm // non-nil: build nodes per shard inside phaseInit
+	off     []int32
+	route   []int32
+	p       int
+	round   int
+	outputs [][]int // phaseOutput destination, set before the barrier
 }
 
 // worker is one shard's loop. It exits on phaseStop, signalling idle
@@ -85,6 +108,8 @@ func (r *shardedRun) worker(s int) {
 			r.sendPhase(s, lo, hi)
 		case phaseRecv:
 			r.recvPhase(s, lo, hi)
+		case phaseOutput:
+			r.outputPhase(s, lo, hi)
 		case phaseStop:
 			r.st.idle <- struct{}{}
 			return
@@ -103,9 +128,21 @@ func (r *shardedRun) barrier(phase int) {
 	}
 }
 
-// initPhase retires nodes that are born done (zero-round algorithms).
+// initPhase builds the shard's nodes when the algorithm is
+// bulk-capable — this is the parallel prologue: every shard carves its
+// state from its own arena concurrently, so setup scales with P — and
+// retires nodes that are born done (zero-round algorithms). Legacy
+// algorithms were already built serially by the coordinator (NewNode
+// order is observable to them, e.g. via shared counters), so for those
+// the phase only retires.
 func (r *shardedRun) initPhase(s, lo, hi int) {
 	st := r.st
+	if r.bulk != nil {
+		if err := st.buildNodes(r.g, r.a, r.bulk, lo, hi, &st.arenas[s]); err != nil {
+			st.stats[s].err = err
+			return
+		}
+	}
 	pending := 0
 	for v := lo; v < hi; v++ {
 		if st.nodes[v].Done() {
@@ -115,6 +152,18 @@ func (r *shardedRun) initPhase(s, lo, hi int) {
 		}
 	}
 	st.stats[s].pending = pending
+}
+
+// outputPhase collects, sorts, and validates the shard's node outputs
+// into the coordinator's outputs slice. Ranges are disjoint and each
+// call appends to its own flat buffer, so the epilogue parallelizes
+// like the prologue; the first invalid shard in index order wins the
+// error, which — shards being contiguous ascending ranges — is the
+// same lowest-node error the sequential engine reports.
+func (r *shardedRun) outputPhase(s, lo, hi int) {
+	if err := collectOutputsRange(r.g, r.a, r.st.nodes, lo, hi, r.outputs); err != nil {
+		r.st.stats[s].err = err
+	}
 }
 
 // sendPhase writes the shard's outbox windows and counts non-nil
@@ -175,6 +224,12 @@ func (r *shardedRun) recvPhase(s, lo, hi int) {
 //	         table (inbox[j] = outbox[route[j]]), delivers each node's
 //	         contiguous inbox slice, and retires nodes that report Done.
 //
+// The prologue and epilogue are parallel too: bulk-capable algorithms
+// (BulkAlgorithm) have each shard's nodes built inside that shard's
+// persistent worker, state carved from a per-shard StateArena, and each
+// shard collects and validates its own outputs, so setup and teardown
+// scale with P instead of serializing around the round loop.
+//
 // The two flat arrays, the node and retirement slices, and the shard
 // accounting all come from a pooled runState, and the P workers persist
 // for the whole run, so a steady-state round performs zero allocations:
@@ -204,31 +259,45 @@ func RunSharded(g *graph.Graph, a Algorithm, opts ...Option) (*Result, error) {
 		p = 1
 	}
 
+	clk := startClock(&c)
 	st := acquireState(n, g.NumPorts(), p)
 	// Release only after the workers have stopped: defers run in LIFO
 	// order, so the stop barrier deferred below fences every worker off
 	// the buffers before they return to the pool — on every exit path,
 	// including cancellation and malformed-send errors.
 	defer st.release()
-	for v := 0; v < n; v++ {
-		st.nodes[v] = a.NewNode(g.Deg(v))
-		st.buffered[v], _ = st.nodes[v].(BufferedNode)
-	}
 	shardBounds(st.bounds, g.PortOffsets(), n, p)
 
 	r := &shardedRun{st: st, g: g, a: a, off: g.PortOffsets(), route: g.RoutingTable(), p: p}
+	r.bulk, _ = a.(BulkAlgorithm)
+	if r.bulk == nil {
+		// Legacy prologue: NewNode in ascending node order on the
+		// coordinator, because per-node construction may observe its own
+		// ordering (idmatching's counter did before it went bulk).
+		if err := st.buildNodes(g, a, nil, 0, n, &st.arenas[0]); err != nil {
+			return nil, err
+		}
+	}
 	for s := 0; s < p; s++ {
 		go r.worker(s)
 	}
 	defer r.barrier(phaseStop)
 
+	// Parallel prologue: bulk algorithms build their shard's nodes here,
+	// every shard at once; all shards then retire born-done nodes.
 	r.barrier(phaseInit)
+	for s := 0; s < p; s++ {
+		if err := st.stats[s].err; err != nil {
+			return nil, err
+		}
+	}
 
 	var hookView [][]Message
 	if c.roundHook != nil {
 		hookView = st.hookRows(r.off, n)
 	}
 
+	clk.tickSetup()
 	res := &Result{}
 	for round := 0; ; round++ {
 		if err := c.ctxErr(a); err != nil {
@@ -260,12 +329,20 @@ func RunSharded(g *graph.Graph, a Algorithm, opts ...Option) (*Result, error) {
 
 		r.barrier(phaseRecv)
 	}
+	clk.tickRounds()
 
-	outputs, err := collectOutputs(g, a, st.nodes[:n])
-	if err != nil {
-		return nil, err
+	// Parallel epilogue: every shard collects and validates its own
+	// output range; the coordinator only checks the per-shard errors in
+	// shard order (lowest bad node wins, as in the sequential engine).
+	r.outputs = make([][]int, n)
+	r.barrier(phaseOutput)
+	for s := 0; s < p; s++ {
+		if err := st.stats[s].err; err != nil {
+			return nil, err
+		}
 	}
-	res.Outputs = outputs
+	res.Outputs = r.outputs
+	clk.tickOutputs()
 	return res, nil
 }
 

@@ -42,6 +42,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"eds/internal/graph"
 )
@@ -107,6 +108,48 @@ type Algorithm interface {
 	NewNode(degree int) Node
 }
 
+// BulkAlgorithm is the optional bulk-construction extension of
+// Algorithm, the setup-phase analogue of what BufferedNode is to Send.
+// Every engine type-asserts the algorithm once at run start; a
+// bulk-capable algorithm has entire node ranges built in one call, with
+// per-node state carved from an engine-owned StateArena in O(1) slabs
+// instead of one heap allocation per node. Algorithms that do not
+// implement it keep working through NewNode unchanged.
+//
+// The contract of BuildNodes:
+//
+//   - nodes has exactly hi-lo entries; BuildNodes must set every one
+//     (nodes[i] becomes graph node lo+i). A nil entry fails the run.
+//   - the built nodes must behave identically to NewNode(g.Deg(v))
+//     nodes — the cross-engine equivalence suite runs both paths.
+//   - state carved from arena is engine-owned and dies with the run
+//     (the arena is rewound when the pooled run state is reacquired);
+//     never store it in the Algorithm value, a package-level variable,
+//     a channel, or anything else that outlives the run. The arenaalias
+//     analyzer (internal/lint) flags retention mechanically.
+//   - concurrent calls on disjoint [lo, hi) ranges with distinct arenas
+//     must be safe: the sharded engine builds all shards in parallel.
+//     In particular a BulkAlgorithm must not derive node identity from
+//     construction *order* (a shared counter); use the node index.
+type BulkAlgorithm interface {
+	Algorithm
+	// BuildNodes constructs the nodes of the half-open range [lo, hi),
+	// carving their state from arena; nodes[i] is node lo+i.
+	BuildNodes(g *graph.Graph, lo, hi int, arena *StateArena, nodes []Node)
+}
+
+// OutputAppender is the optional zero-allocation extension of Output.
+// The engines' output collectors gather all of a node range's chosen
+// ports into one flat buffer; a node implementing AppendOutput writes
+// its ports straight onto that buffer instead of materialising a
+// per-node slice for Output to return.
+type OutputAppender interface {
+	Node
+	// AppendOutput appends the node's chosen ports (unsorted is fine)
+	// to dst and returns the extended slice, exactly once Done is true.
+	AppendOutput(dst []int) []int
+}
+
 // Result summarises one execution.
 type Result struct {
 	// Outputs[v] is the sorted set of ports chosen by node v.
@@ -148,6 +191,7 @@ type config struct {
 	maxRounds int
 	roundHook func(round int, sent [][]Message)
 	shards    int
+	timings   *Timings
 }
 
 // ctxErr reports the cancellation error to surface, or nil if the run's
@@ -183,6 +227,64 @@ func WithMaxRounds(n int) Option {
 // internal/lint enforces this mechanically).
 func WithRoundHook(fn func(round int, sent [][]Message)) Option {
 	return func(c *config) { c.roundHook = fn }
+}
+
+// Timings is the wall-clock split of one run, filled in by WithTimings:
+// Setup covers run-state acquisition and node construction, Rounds the
+// round loop, Outputs the collection and validation of the per-node
+// port sets. On an error exit only the phases that completed are set.
+type Timings struct {
+	Setup   time.Duration
+	Rounds  time.Duration
+	Outputs time.Duration
+}
+
+// WithTimings makes the engine record its phase wall-clock split into
+// *t. The split is diagnostic output, not part of the Result: it varies
+// run to run while Results stay byte-identical.
+func WithTimings(t *Timings) Option {
+	return func(c *config) { c.timings = t }
+}
+
+// phaseClock times one engine's phases: each tick charges the time
+// since the previous tick to one Timings slot. An unhooked run gets a
+// clock with a nil target, making every call a no-op, so the engines
+// tick unconditionally and pay nothing on the common path.
+type phaseClock struct {
+	t    *Timings
+	last time.Time
+}
+
+func startClock(c *config) phaseClock {
+	if c.timings == nil {
+		return phaseClock{}
+	}
+	*c.timings = Timings{}
+	return phaseClock{t: c.timings, last: time.Now()}
+}
+
+func (p *phaseClock) tickSetup() {
+	if p.t != nil {
+		now := time.Now()
+		p.t.Setup += now.Sub(p.last)
+		p.last = now
+	}
+}
+
+func (p *phaseClock) tickRounds() {
+	if p.t != nil {
+		now := time.Now()
+		p.t.Rounds += now.Sub(p.last)
+		p.last = now
+	}
+}
+
+func (p *phaseClock) tickOutputs() {
+	if p.t != nil {
+		now := time.Now()
+		p.t.Outputs += now.Sub(p.last)
+		p.last = now
+	}
 }
 
 // WithContext attaches a context to the run. Every engine checks the
@@ -228,16 +330,18 @@ func RunSequential(g *graph.Graph, a Algorithm, opts ...Option) (*Result, error)
 	n := g.N()
 	off := g.PortOffsets()
 	route := g.RoutingTable()
+	clk := startClock(&c)
 	st := acquireState(n, g.NumPorts(), 0)
 	defer st.release()
-	for v := 0; v < n; v++ {
-		st.nodes[v] = a.NewNode(g.Deg(v))
-		st.buffered[v], _ = st.nodes[v].(BufferedNode)
+	bulk, _ := a.(BulkAlgorithm)
+	if err := st.buildNodes(g, a, bulk, 0, n, &st.arenas[0]); err != nil {
+		return nil, err
 	}
 	var hookView [][]Message
 	if c.roundHook != nil {
 		hookView = st.hookRows(off, n)
 	}
+	clk.tickSetup()
 	res := &Result{}
 	for round := 0; ; round++ {
 		if err := c.ctxErr(a); err != nil {
@@ -291,11 +395,13 @@ func RunSequential(g *graph.Graph, a Algorithm, opts ...Option) (*Result, error)
 			}
 		}
 	}
+	clk.tickRounds()
 	var err error
 	res.Outputs, err = collectOutputs(g, a, st.nodes[:n])
 	if err != nil {
 		return nil, err
 	}
+	clk.tickOutputs()
 	return res, nil
 }
 
@@ -312,12 +418,13 @@ func RunConcurrent(g *graph.Graph, a Algorithm, opts ...Option) (*Result, error)
 		return nil, err
 	}
 	n := g.N()
+	clk := startClock(&c)
 	st := acquireState(n, 0, 0)
 	defer st.release()
 	nodes := st.nodes
-	for v := 0; v < n; v++ {
-		nodes[v] = a.NewNode(g.Deg(v))
-		st.buffered[v], _ = nodes[v].(BufferedNode)
+	bulk, _ := a.(BulkAlgorithm)
+	if err := st.buildNodes(g, a, bulk, 0, n, &st.arenas[0]); err != nil {
+		return nil, err
 	}
 	// in[v][i-1] is the inbound channel of port (v, i). Capacity 1: a
 	// round's message parks there until the owner consumes it.
@@ -429,6 +536,7 @@ func RunConcurrent(g *graph.Graph, a Algorithm, opts ...Option) (*Result, error)
 		}
 		wg.Wait()
 	}
+	clk.tickSetup()
 	res := &Result{}
 	for round := 0; ; round++ {
 		// Same barrier as the other engines: the workers are parked at
@@ -473,31 +581,68 @@ func RunConcurrent(g *graph.Graph, a Algorithm, opts ...Option) (*Result, error)
 		}
 	}
 	stopAll()
+	clk.tickRounds()
 	outputs, err := collectOutputs(g, a, nodes)
 	if err != nil {
 		return nil, err
 	}
 	res.Outputs = outputs
+	clk.tickOutputs()
 	return res, nil
 }
 
 // collectOutputs gathers, sorts, and validates the per-node port sets.
 func collectOutputs(g *graph.Graph, a Algorithm, nodes []Node) ([][]int, error) {
 	outputs := make([][]int, len(nodes))
-	for v, node := range nodes {
-		out := append([]int(nil), node.Output()...)
-		sort.Ints(out)
-		for k, p := range out {
-			if p < 1 || p > g.Deg(v) {
-				return nil, fmt.Errorf("sim: algorithm %q: node %d output invalid port %d", a.Name(), v, p)
-			}
-			if k > 0 && out[k-1] == p {
-				return nil, fmt.Errorf("sim: algorithm %q: node %d output duplicate port %d", a.Name(), v, p)
-			}
-		}
-		outputs[v] = out
+	if err := collectOutputsRange(g, a, nodes, 0, len(nodes), outputs); err != nil {
+		return nil, err
 	}
 	return outputs, nil
+}
+
+// collectOutputsRange gathers, sorts, and validates the port sets of
+// the node range [lo, hi), filling outputs[lo:hi]. All of the range's
+// ports land in one freshly allocated flat buffer — OutputAppender
+// nodes write onto it directly, legacy nodes are copied — and each
+// node's row becomes a capped subslice, so collection costs O(1)
+// allocations per range instead of one per node. Rows may alias the
+// shared buffer but never each other, and a node with no output keeps
+// a nil row, so Results stay byte-identical (reflect.DeepEqual) no
+// matter which engine or shard count produced them. The first invalid
+// node in ascending order wins the error, matching the sequential
+// reference; safe for concurrent calls on disjoint ranges because the
+// buffer is call-local and outputs rows are per-node.
+func collectOutputsRange(g *graph.Graph, a Algorithm, nodes []Node, lo, hi int, outputs [][]int) error {
+	var flat []int
+	ends := make([]int, hi-lo)
+	for v := lo; v < hi; v++ {
+		start := len(flat)
+		if ap, ok := nodes[v].(OutputAppender); ok {
+			flat = ap.AppendOutput(flat)
+		} else {
+			flat = append(flat, nodes[v].Output()...)
+		}
+		row := flat[start:]
+		sort.Ints(row)
+		for k, p := range row {
+			if p < 1 || p > g.Deg(v) {
+				return fmt.Errorf("sim: algorithm %q: node %d output invalid port %d", a.Name(), v, p)
+			}
+			if k > 0 && row[k-1] == p {
+				return fmt.Errorf("sim: algorithm %q: node %d output duplicate port %d", a.Name(), v, p)
+			}
+		}
+		ends[v-lo] = len(flat)
+	}
+	// Subslice only after every append: the buffer no longer moves.
+	start := 0
+	for i, end := range ends {
+		if end > start {
+			outputs[lo+i] = flat[start:end:end]
+		}
+		start = end
+	}
+	return nil
 }
 
 // CheckConsistency verifies the paper's output well-formedness condition:

@@ -335,7 +335,7 @@ func TestRunAutoHonoursRoundHook(t *testing.T) {
 	// Above the auto threshold RunAuto prefers the sharded engine, but a
 	// round hook must force the sequential engine — the only one that
 	// honours it — so the hook never goes silently uninvoked.
-	g := gen.Cycle(AutoShardedThreshold + 10)
+	g := gen.Cycle(AutoShardedPorts) // 2n ports, above the sharded cutover
 	hooked := 0
 	res, err := RunAuto(g, sumAlg{rounds: 2}, WithRoundHook(func(int, [][]Message) { hooked++ }))
 	if err != nil {
