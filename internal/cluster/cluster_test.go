@@ -1,0 +1,284 @@
+package cluster
+
+import (
+	"context"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func newTestCluster(t *testing.T, self string, peers []string, mutate func(*Config)) *Cluster {
+	t.Helper()
+	cfg := Config{Self: self, Peers: peers}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:1"}
+	if _, err := New(Config{Self: "", Peers: peers}); err == nil {
+		t.Error("empty Self accepted")
+	}
+	if _, err := New(Config{Self: "http://a:1"}); err == nil {
+		t.Error("empty Peers accepted")
+	}
+	if _, err := New(Config{Self: "http://c:1", Peers: peers}); err == nil {
+		t.Error("Self outside Peers accepted")
+	}
+	if _, err := New(Config{Self: "http://a:1", Peers: []string{"http://a:1", "nonsense"}}); err == nil {
+		t.Error("relative peer URL accepted")
+	}
+	if _, err := New(Config{Self: "http://a:1", Peers: []string{"http://a:1", "http://b:1", "http://b:1"}}); err == nil {
+		t.Error("duplicate peer accepted")
+	}
+	// Trailing slashes normalise away instead of splitting identity.
+	c := newTestCluster(t, "http://a:1/", []string{"http://a:1", "http://b:1/"}, nil)
+	if c.Size() != 2 {
+		t.Errorf("Size = %d, want 2", c.Size())
+	}
+}
+
+func digestOf(s string) []byte {
+	d := sha256.Sum256([]byte(s))
+	return d[:]
+}
+
+// TestRendezvousDeterministicAcrossReplicas pins the coordination-free
+// ownership contract: every replica, given the same membership, assigns
+// every digest to the same owner regardless of which replica asks.
+func TestRendezvousDeterministicAcrossReplicas(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:1", "http://c:1"}
+	clusters := make([]*Cluster, len(peers))
+	for i, self := range peers {
+		clusters[i] = newTestCluster(t, self, peers, nil)
+	}
+	for i := 0; i < 200; i++ {
+		d := digestOf(fmt.Sprint("graph-", i))
+		owner0, _ := clusters[0].Owner(d)
+		for _, c := range clusters[1:] {
+			owner, self := c.Owner(d)
+			if owner != owner0 {
+				t.Fatalf("digest %d: replica %s says owner %s, replica %s says %s",
+					i, clusters[0].self, owner0, c.self, owner)
+			}
+			if self != (owner == c.self) {
+				t.Fatalf("digest %d: self flag inconsistent with owner", i)
+			}
+		}
+	}
+}
+
+// TestRendezvousBalanceAndMinimalReshuffle checks that ownership spreads
+// across the fleet and that losing one replica only moves the digests it
+// owned.
+func TestRendezvousBalanceAndMinimalReshuffle(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:1", "http://c:1"}
+	c := newTestCluster(t, peers[0], peers, nil)
+
+	const n = 3000
+	owned := map[string]int{}
+	before := make([]string, n)
+	for i := 0; i < n; i++ {
+		owner, _ := c.Owner(digestOf(fmt.Sprint("graph-", i)))
+		owned[owner]++
+		before[i] = owner
+	}
+	for _, p := range peers {
+		if owned[p] < n/6 {
+			t.Errorf("replica %s owns %d of %d digests; distribution is badly skewed: %v", p, owned[p], n, owned)
+		}
+	}
+
+	// Peer b goes down: its digests must move, everyone else's must not.
+	c.peers["http://b:1"].markDown(errors.New("down"))
+	for i := 0; i < n; i++ {
+		after, _ := c.Owner(digestOf(fmt.Sprint("graph-", i)))
+		if before[i] == "http://b:1" {
+			if after == "http://b:1" {
+				t.Fatalf("digest %d still owned by the down peer", i)
+			}
+		} else if after != before[i] {
+			t.Fatalf("digest %d moved %s → %s although its owner stayed up", i, before[i], after)
+		}
+	}
+
+	// All peers down: self owns everything (degradation, not error).
+	c.peers["http://c:1"].markDown(errors.New("down"))
+	for i := 0; i < 50; i++ {
+		owner, self := c.Owner(digestOf(fmt.Sprint("graph-", i)))
+		if !self || owner != c.self {
+			t.Fatalf("digest %d: with all peers down owner = %s, want self", i, owner)
+		}
+	}
+}
+
+func TestFillRetriesThenSucceeds(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			// First attempt: kill the connection mid-request to force a
+			// transport error, not an HTTP status.
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				t.Error("recorder not hijackable")
+				return
+			}
+			conn, _, _ := hj.Hijack()
+			conn.Close()
+			return
+		}
+		if r.URL.Path != "/internal/v1/fill" {
+			t.Errorf("path = %q", r.URL.Path)
+		}
+		if r.Header.Get("X-Eds-Peer") == "" || r.Header.Get("X-Request-ID") != "req-1" {
+			t.Errorf("fill headers missing: peer=%q id=%q", r.Header.Get("X-Eds-Peer"), r.Header.Get("X-Request-ID"))
+		}
+		body, _ := io.ReadAll(r.Body)
+		if string(body) != "nodes 1\n" {
+			t.Errorf("body = %q", body)
+		}
+		w.Write([]byte("ok"))
+	}))
+	defer ts.Close()
+
+	c := newTestCluster(t, "http://self:1", []string{"http://self:1", ts.URL}, func(cfg *Config) {
+		cfg.Backoff = time.Millisecond
+	})
+	resp, err := c.Fill(context.Background(), ts.URL, "req-1", "alg=auto", []byte("nodes 1\n"))
+	if err != nil {
+		t.Fatalf("Fill: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+	out, _ := io.ReadAll(resp.Body)
+	if string(out) != "ok" {
+		t.Errorf("body = %q", out)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("attempts = %d, want 2 (one failure, one retry)", got)
+	}
+	if p := c.peers[strings.TrimSuffix(ts.URL, "/")]; !p.Ready() {
+		t.Error("peer not marked ready after a successful fill")
+	}
+}
+
+func TestFillUnreachableMarksPeerDown(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	url := ts.URL
+	ts.Close() // connection refused from here on
+
+	c := newTestCluster(t, "http://self:1", []string{"http://self:1", url}, func(cfg *Config) {
+		cfg.Backoff = time.Millisecond
+		cfg.MaxRetries = 2
+	})
+	_, err := c.Fill(context.Background(), url, "", "", []byte("x"))
+	if !errors.Is(err, ErrPeerUnavailable) {
+		t.Fatalf("err = %v, want ErrPeerUnavailable", err)
+	}
+	if c.peers[url].Ready() {
+		t.Error("unreachable peer still marked ready")
+	}
+	if owner, self := c.Owner(digestOf("anything")); !self {
+		t.Errorf("owner = %s after peer death, want self", owner)
+	}
+}
+
+func TestFillDrainingOwnerIsUnavailable(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+	c := newTestCluster(t, "http://self:1", []string{"http://self:1", ts.URL}, nil)
+	_, err := c.Fill(context.Background(), ts.URL, "", "", nil)
+	if !errors.Is(err, ErrPeerUnavailable) {
+		t.Fatalf("err = %v, want ErrPeerUnavailable", err)
+	}
+	if c.peers[ts.URL].Ready() {
+		t.Error("draining peer still marked ready")
+	}
+}
+
+func TestFillDeterministicErrorIsRelayedNotRetried(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"bad graph"}`, http.StatusBadRequest)
+	}))
+	defer ts.Close()
+	c := newTestCluster(t, "http://self:1", []string{"http://self:1", ts.URL}, nil)
+	resp, err := c.Fill(context.Background(), ts.URL, "", "", nil)
+	if err != nil {
+		t.Fatalf("Fill: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("status = %d, want 400 relayed", resp.StatusCode)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("HTTP error retried: %d calls", calls.Load())
+	}
+	if !c.peers[ts.URL].Ready() {
+		t.Error("peer marked down for a deterministic client error")
+	}
+}
+
+// TestHealthProbeFlipsReadiness drives the active probe loop: a peer
+// answering /readyz 503 is excluded from ownership and re-included when
+// it recovers.
+func TestHealthProbeFlipsReadiness(t *testing.T) {
+	var ready atomic.Bool
+	ready.Store(true)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/readyz" {
+			t.Errorf("probe hit %q, want /readyz", r.URL.Path)
+		}
+		if ready.Load() {
+			w.Write([]byte("ok"))
+		} else {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+		}
+	}))
+	defer ts.Close()
+
+	c := newTestCluster(t, "http://self:1", []string{"http://self:1", ts.URL}, func(cfg *Config) {
+		cfg.HealthInterval = 5 * time.Millisecond
+	})
+	c.Start()
+	defer c.Stop()
+
+	waitFor(t, func() bool { return c.peers[ts.URL].Ready() })
+	ready.Store(false)
+	waitFor(t, func() bool { return !c.peers[ts.URL].Ready() })
+	st := c.Snapshot()
+	if len(st) != 1 || st[0].Ready || st[0].LastErr == "" {
+		t.Errorf("snapshot = %+v, want one unready peer with a cause", st)
+	}
+	ready.Store(true)
+	waitFor(t, func() bool { return c.peers[ts.URL].Ready() })
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within 5s")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

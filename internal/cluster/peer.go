@@ -1,0 +1,67 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// Peer is one remote replica's health state. Readiness flips actively
+// (the /readyz probe) and passively (a failed fill marks the peer down
+// without waiting for the next probe); a down peer is excluded from
+// rendezvous ownership until a probe sees it ready again.
+type Peer struct {
+	base string
+
+	mu        sync.Mutex
+	ready     bool
+	lastErr   string
+	lastEvent time.Time
+}
+
+func newPeer(base string) *Peer {
+	return &Peer{base: base, ready: true}
+}
+
+// URL returns the peer's base URL.
+func (p *Peer) URL() string { return p.base }
+
+// Ready reports whether the peer is currently believed able to serve
+// fills.
+func (p *Peer) Ready() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.ready
+}
+
+// markDown records a failure and reports whether this was a transition
+// (the peer was ready before).
+func (p *Peer) markDown(cause error) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	was := p.ready
+	p.ready = false
+	if cause != nil {
+		p.lastErr = cause.Error()
+	} else {
+		p.lastErr = "unknown failure"
+	}
+	p.lastEvent = time.Now()
+	return was
+}
+
+// markUp records a success and reports whether this was a transition.
+func (p *Peer) markUp() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	was := p.ready
+	p.ready = true
+	p.lastErr = ""
+	p.lastEvent = time.Now()
+	return !was
+}
+
+func (p *Peer) status() PeerStatus {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return PeerStatus{URL: p.base, Ready: p.ready, LastErr: p.lastErr, LastEvent: p.lastEvent}
+}

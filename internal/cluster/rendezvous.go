@@ -1,0 +1,23 @@
+package cluster
+
+import "hash/fnv"
+
+// rendezvousScore is the highest-random-weight score of (replica,
+// graph): FNV-1a over the canonical graph digest followed by the
+// replica's base URL. Every replica computes the same scores from the
+// same static membership, so ownership needs no coordination: the
+// replica with the maximum score owns the digest, and when a replica
+// drops out only the digests it owned move (each to its second-highest
+// scorer) — the defining property of rendezvous hashing, and the reason
+// a replica failure does not reshuffle the fleet's cache the way a
+// modulo assignment would.
+//
+// FNV-1a is not cryptographic, but the input digest is already a
+// sha256: the hash here only needs to mix the digest with the replica
+// name deterministically and cheaply.
+func rendezvousScore(replica string, digest []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(digest)
+	h.Write([]byte(replica))
+	return h.Sum64()
+}

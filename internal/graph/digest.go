@@ -1,0 +1,50 @@
+package graph
+
+import "crypto/sha256"
+
+// DigestSize is the length of the canonical graph digest in bytes.
+const DigestSize = sha256.Size
+
+// Digest hashes the graph's canonical flat representation: the
+// port-offset array (which implies the node count) and the routing
+// table (which encodes the port involution), separated by a sentinel.
+// Together the two arrays determine the port-numbered graph exactly, so
+// any two wire forms that decode to the same graph — reordered conn
+// lines, comments, whitespace — digest identically, and any structural
+// difference changes the digest.
+//
+// The digest is the repo's global content address for a graph: the edsd
+// result cache keys on it (a run's outcome is a deterministic function
+// of the port-numbered graph, a property the determinism lints guard),
+// and the cluster tier rendezvous-hashes it to pick the replica that
+// owns computing and caching that graph fleet-wide.
+func Digest(g *Graph) [DigestSize]byte {
+	h := sha256.New()
+	var buf [8192]byte
+	k := 0
+	flush := func() {
+		h.Write(buf[:k])
+		k = 0
+	}
+	put := func(v int32) {
+		if k == len(buf) {
+			flush()
+		}
+		buf[k+0] = byte(v)
+		buf[k+1] = byte(v >> 8)
+		buf[k+2] = byte(v >> 16)
+		buf[k+3] = byte(v >> 24)
+		k += 4
+	}
+	for _, v := range g.PortOffsets() {
+		put(v)
+	}
+	put(-1) // domain separator between the two arrays
+	for _, v := range g.RoutingTable() {
+		put(v)
+	}
+	flush()
+	var sum [DigestSize]byte
+	h.Sum(sum[:0])
+	return sum
+}

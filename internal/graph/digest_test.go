@@ -1,0 +1,52 @@
+package graph_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"eds/internal/graph"
+)
+
+// TestDigestCanonical pins the digest's contract: wire-form cosmetics
+// do not move it, structure does.
+func TestDigestCanonical(t *testing.T) {
+	const wire = "nodes 4\nconn 0 1 1 1\nconn 1 2 2 1\nconn 2 2 3 1\nconn 3 2 0 2\n"
+	g1, err := graph.ReadGraph(strings.NewReader(wire))
+	if err != nil {
+		t.Fatalf("ReadGraph: %v", err)
+	}
+
+	// Comments, blank lines, and reordered conn lines decode to the same
+	// port-numbered graph, so the digest must not move.
+	cosmetic := "# cycle on four nodes\n\nnodes 4\nconn 3 2 0 2\nconn 0 1 1 1\nconn 2 2 3 1\nconn 1 2 2 1\n"
+	g2, err := graph.ReadGraph(strings.NewReader(cosmetic))
+	if err != nil {
+		t.Fatalf("ReadGraph cosmetic: %v", err)
+	}
+	if graph.Digest(g1) != graph.Digest(g2) {
+		t.Error("cosmetic wire-form change moved the digest")
+	}
+
+	// Round-tripping through the codec preserves the digest.
+	var buf bytes.Buffer
+	if err := graph.WriteTo(&buf, g1); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	g3, err := graph.ReadGraph(&buf)
+	if err != nil {
+		t.Fatalf("ReadGraph round-trip: %v", err)
+	}
+	if graph.Digest(g1) != graph.Digest(g3) {
+		t.Error("codec round-trip moved the digest")
+	}
+
+	// A structural change — one extra node — must move it.
+	g4, err := graph.ReadGraph(strings.NewReader(strings.Replace(wire, "nodes 4", "nodes 5", 1)))
+	if err != nil {
+		t.Fatalf("ReadGraph grown: %v", err)
+	}
+	if graph.Digest(g1) == graph.Digest(g4) {
+		t.Error("structural change did not move the digest")
+	}
+}

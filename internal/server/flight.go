@@ -1,6 +1,9 @@
 package server
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // flightGroup coalesces identical in-flight /v1/run requests: the first
 // request for a cache key becomes the leader and executes the run; every
@@ -24,10 +27,14 @@ type flightGroup struct {
 }
 
 // flight is one in-flight run. done is closed exactly once, after res is
-// set; followers must only read res after done is closed.
+// set; followers must only read res after done is closed. size counts
+// every request the flight serves (leader included); it is stable once
+// finish has removed the key, so a leader reads it after finishing to
+// report the batch size.
 type flight struct {
 	done chan struct{}
 	res  flightResult
+	size atomic.Int64
 }
 
 // flightResult is a leader's published outcome. code 0 marks a private
@@ -49,9 +56,11 @@ func (fg *flightGroup) join(key string) (*flight, bool) {
 	fg.mu.Lock()
 	defer fg.mu.Unlock()
 	if f, ok := fg.m[key]; ok {
+		f.size.Add(1)
 		return f, false
 	}
 	f := &flight{done: make(chan struct{})}
+	f.size.Add(1)
 	fg.m[key] = f
 	return f, true
 }

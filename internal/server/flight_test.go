@@ -26,10 +26,7 @@ import (
 // (each records exactly one miss before joining the flight group).
 func waitForMisses(t *testing.T, s *Server, n int64) {
 	t.Helper()
-	waitFor(t, func() bool {
-		_, _, _, misses, _, _, _, _ := s.st.snapshot()
-		return misses >= n
-	})
+	waitFor(t, func() bool { return s.st.snapshot().misses >= n })
 }
 
 func TestServerCoalescing(t *testing.T) {
@@ -81,7 +78,7 @@ func TestServerCoalescing(t *testing.T) {
 	if extra := len(started); extra != 0 {
 		t.Errorf("%d extra engine runs started; duplicates must share the leader's run", extra)
 	}
-	_, _, _, _, coalescedStat, _, _, _ := s.st.snapshot()
+	coalescedStat := s.st.snapshot().coalesced
 	if coalescedStat != int64(followers) {
 		t.Errorf("statsz coalesced = %d, want %d", coalescedStat, followers)
 	}

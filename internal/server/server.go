@@ -12,23 +12,41 @@
 //     deadline (client-chosen via ?timeout=, capped by the server); the
 //     engines poll it at round barriers (sim.WithContext), so a
 //     timed-out run stops computing and returns 504;
-//   - result cache: an LRU keyed by the canonical graph bytes plus the
+//   - result cache: an LRU keyed by the canonical graph digest plus the
 //     resolved algorithm, so identical requests are served byte-for-byte
 //     identically without re-running the engine;
+//   - request batching: identical in-flight requests coalesce onto one
+//     engine run (singleflight), and an optional batch window delays the
+//     leader so identical requests arriving within the window join the
+//     same run instead of racing it;
+//   - cluster tier: with a cluster.Cluster configured, each graph digest
+//     is owned by exactly one replica (rendezvous hashing); non-owners
+//     fetch results over POST /internal/v1/fill instead of recomputing,
+//     and degrade to local compute when the owner is unreachable;
+//   - streaming: ?edges=1&stream=1 answers in chunked NDJSON (a summary
+//     line followed by one line per edge), so a million-edge dominating
+//     set never materialises as one JSON body in memory;
 //   - input hardening: request bodies are size-capped (413), and the
 //     graph decoder enforces node/port limits (graph.ReadGraphLimits)
-//     so hostile inputs cannot OOM the process;
-//   - observability: /healthz for liveness/draining, /statsz for
-//     request counts, cache hit rate, queue depth, and per-algorithm
-//     latency histograms;
-//   - graceful shutdown: StartDraining flips /healthz to 503 and
+//     so hostile inputs cannot OOM the process — on the public endpoint
+//     and the internal fill endpoint alike;
+//   - observability: X-Request-ID generation/propagation with
+//     structured request logging (log/slog), /livez for liveness,
+//     /readyz for readiness, /statsz for request counts, cache hit
+//     rate, queue depth, per-algorithm latency histograms, per-peer
+//     fill counters, batch sizes, and stream bytes;
+//   - graceful shutdown: StartDraining flips /readyz to 503 (telling
+//     load balancers and cluster peers to stop routing here) and
 //     rejects new runs while in-flight runs complete (http.Server's
 //     Shutdown supplies the connection-level drain).
 //
 // Endpoints:
 //
-//	POST /v1/run?alg=S&engine=E&shards=P&timeout=D&edges=1   body: graph
-//	GET  /healthz
+//	POST /v1/run?alg=S&engine=E&shards=P&timeout=D&edges=1&stream=1   body: graph
+//	POST /internal/v1/fill?...   same contract, peer-to-peer (never re-forwards)
+//	GET  /healthz   (readiness, kept for compatibility)
+//	GET  /livez
+//	GET  /readyz
 //	GET  /statsz
 package server
 
@@ -40,12 +58,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
 	"strconv"
 	"time"
 
+	"eds/internal/cluster"
 	"eds/internal/graph"
 	"eds/internal/ratio"
 	"eds/internal/sim"
@@ -80,6 +100,23 @@ type Config struct {
 	// CacheEntries is the LRU result-cache capacity (default 256; < 0
 	// disables the cache).
 	CacheEntries int
+	// BatchWindow is how long the leader of a fresh cache miss waits
+	// before starting its engine run, so identical requests arriving
+	// within the window coalesce onto that one run instead of finding
+	// the cache still cold a moment apart. 0 (the default) disables the
+	// wait; duplicates arriving while a run is in flight still coalesce
+	// through the singleflight. With a cluster configured the window
+	// batches fleet-wide: every replica routes a digest's misses to the
+	// same owner, whose window collects them all.
+	BatchWindow time.Duration
+	// Cluster, when non-nil, enables the multi-replica tier: graph
+	// digests are owned by exactly one replica, non-owners fill from the
+	// owner, and this server answers /internal/v1/fill for its peers.
+	Cluster *cluster.Cluster
+	// Logger receives one structured line per request (default:
+	// discard). Health-probe endpoints log at Debug, everything else at
+	// Info.
+	Logger *slog.Logger
 	// EnablePprof mounts net/http/pprof's handlers under /debug/pprof/.
 	// Off by default: the profiling endpoints expose heap contents and
 	// let any client start CPU profiles, so they are opt-in (edsd's
@@ -109,6 +146,12 @@ func (c Config) withDefaults() Config {
 	if c.CacheEntries == 0 {
 		c.CacheEntries = 256
 	}
+	if c.BatchWindow < 0 {
+		c.BatchWindow = 0
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
+	}
 	return c
 }
 
@@ -122,6 +165,7 @@ type Server struct {
 	flights *flightGroup
 	st      *stats
 	mux     *http.ServeMux
+	root    http.Handler // mux wrapped in the request-ID/logging middleware
 
 	draining chan struct{} // closed by StartDraining
 
@@ -146,7 +190,10 @@ func New(cfg Config) *Server {
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("POST /internal/v1/fill", s.handleFill)
+	s.mux.HandleFunc("GET /healthz", s.handleReadyz) // compatibility alias for readiness
+	s.mux.HandleFunc("GET /livez", s.handleLivez)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
 	if cfg.EnablePprof {
 		// Explicit mounts instead of the package's init-time
@@ -159,17 +206,21 @@ func New(cfg Config) *Server {
 		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	}
+	s.root = s.instrument(s.mux)
 	return s
 }
 
-// Handler returns the root handler for the edsd API.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the root handler for the edsd API: the endpoint mux
+// wrapped in the request-ID and logging middleware.
+func (s *Server) Handler() http.Handler { return s.root }
 
-// StartDraining puts the server into shutdown mode: /healthz turns 503
-// (telling load balancers to stop routing here) and new runs are
-// rejected with 503, while runs already admitted keep executing. Safe to
-// call more than once. Pair it with http.Server.Shutdown, which waits
-// for the in-flight handlers to return.
+// StartDraining puts the server into shutdown mode: /readyz (and its
+// /healthz alias) turns 503 — telling load balancers and cluster peers
+// to stop routing here — and new runs are rejected with 503, while runs
+// already admitted keep executing. /livez stays 200: the process is
+// healthy, just leaving. Safe to call more than once. Pair it with
+// http.Server.Shutdown, which waits for the in-flight handlers to
+// return.
 func (s *Server) StartDraining() {
 	select {
 	case <-s.draining:
@@ -202,7 +253,9 @@ func defaultRunEngine(ctx context.Context, engine string, shards int, g *graph.G
 	return res, split, err
 }
 
-// RunResponse is the JSON body of a successful POST /v1/run.
+// RunResponse is the JSON body of a successful POST /v1/run. In
+// streaming mode it is the first NDJSON line, with EdgeList omitted and
+// Edges announcing how many edge lines follow.
 type RunResponse struct {
 	Algorithm  string   `json:"algorithm"`
 	N          int      `json:"n"`
@@ -234,6 +287,7 @@ type runRequest struct {
 	shards       int
 	timeout      time.Duration
 	includeEdges bool
+	stream       bool
 }
 
 func (s *Server) parseRunRequest(r *http.Request) (runRequest, error) {
@@ -275,6 +329,12 @@ func (s *Server) parseRunRequest(r *http.Request) (runRequest, error) {
 	if v := q.Get("edges"); v != "" && v != "0" && v != "false" {
 		req.includeEdges = true
 	}
+	if v := q.Get("stream"); v != "" && v != "0" && v != "false" {
+		if !req.includeEdges {
+			return req, errors.New("stream=1 requires edges=1 (only the edge list is worth streaming)")
+		}
+		req.stream = true
+	}
 	return req, nil
 }
 
@@ -285,53 +345,21 @@ func (s *Server) parseRunRequest(r *http.Request) (runRequest, error) {
 //	                decoding, so a byte-identical replay is served with a
 //	                bounded allocation cost independent of graph size
 //	                (the alloc regression test pins the budget).
-//	canonical key — a digest of the decoded graph's flat structure plus
-//	                the resolved algorithm name. Two wire forms of the
-//	                same graph (comments, whitespace, reordered conn
+//	canonical key — graph.Digest of the decoded graph's flat structure
+//	                plus the resolved algorithm name. Two wire forms of
+//	                the same graph (comments, whitespace, reordered conn
 //	                lines) decode to identical port-offset and routing
 //	                arrays, so they collide here as they should, as do
-//	                alg=auto and its explicit resolution.
+//	                alg=auto and its explicit resolution. The same digest
+//	                is what the cluster tier rendezvous-hashes to pick the
+//	                graph's owner, so cache identity and ownership can
+//	                never disagree.
 //
 // Engine and shard count are deliberately excluded from both keys: every
 // engine returns identical results, which the cross-engine equivalence
 // suite enforces.
 func cacheKey(sum [sha256.Size]byte, algName string, includeEdges bool) string {
 	return fmt.Sprintf("%x|%s|%v", sum, algName, includeEdges)
-}
-
-// graphDigest hashes the decoded graph's canonical flat representation:
-// the node count is implied by the port-offset array and the involution
-// by the routing table, which together determine the port-numbered graph
-// exactly.
-func graphDigest(g *graph.Graph) [sha256.Size]byte {
-	h := sha256.New()
-	var buf [8192]byte
-	k := 0
-	flush := func() {
-		h.Write(buf[:k])
-		k = 0
-	}
-	put := func(v int32) {
-		if k == len(buf) {
-			flush()
-		}
-		buf[k+0] = byte(v)
-		buf[k+1] = byte(v >> 8)
-		buf[k+2] = byte(v >> 16)
-		buf[k+3] = byte(v >> 24)
-		k += 4
-	}
-	for _, v := range g.PortOffsets() {
-		put(v)
-	}
-	put(-1) // domain separator between the two arrays
-	for _, v := range g.RoutingTable() {
-		put(v)
-	}
-	flush()
-	var sum [sha256.Size]byte
-	h.Sum(sum[:0])
-	return sum
 }
 
 // acquire admits the request into the worker pool, waiting in the
@@ -363,6 +391,29 @@ func (s *Server) acquire(ctx context.Context) (release func(), status int) {
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	s.serveRun(w, r, false)
+}
+
+// handleFill is the peer-to-peer side of the cluster tier: a non-owner
+// replica that missed its cache asks this replica — the digest's owner —
+// for the result. The handler is deliberately the same code path as the
+// public endpoint minus routing: the same body cap, the same
+// graph.ReadGraphLimits, the same cache keys, the same admission queue
+// and flight group (so fills, local clients, and the batch window all
+// coalesce onto one engine run). It never forwards: whatever this
+// replica believes about ownership, a fill is answered locally, which
+// makes routing loops impossible even when replicas' health views
+// disagree.
+func (s *Server) handleFill(w http.ResponseWriter, r *http.Request) {
+	if peer := r.Header.Get("X-Eds-Peer"); peer != "" {
+		s.st.recordFillServed(peer)
+	}
+	s.serveRun(w, r, true)
+}
+
+// serveRun is the shared request path. isFill marks a peer fill, which
+// is never re-forwarded and may not stream.
+func (s *Server) serveRun(w http.ResponseWriter, r *http.Request, isFill bool) {
 	if s.isDraining() {
 		s.writeError(w, http.StatusServiceUnavailable, "server is draining")
 		return
@@ -370,6 +421,13 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	req, err := s.parseRunRequest(r)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.stream && isFill {
+		// Streams are served by the replica the client is talking to
+		// (their bodies are not cacheable, so ownership buys nothing);
+		// peers have no business requesting one.
+		s.writeError(w, http.StatusBadRequest, "stream=1 is not valid on the fill endpoint")
 		return
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
@@ -384,15 +442,16 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// First-level cache probe on the raw bytes: a byte-identical replay
-	// is served without decoding or canonicalising anything.
+	// is served without decoding or canonicalising anything. Streaming
+	// requests bypass the cache — their value is exactly that no
+	// complete body ever exists to cache.
 	rawKey := cacheKey(sha256.Sum256(body), req.algSpec, req.includeEdges)
-	if cached, ok := s.cache.get(rawKey); ok {
-		s.st.recordCache(true)
-		w.Header().Set("Content-Type", "application/json")
-		w.Header().Set("X-Cache", "hit")
-		w.Write(cached)
-		s.st.recordStatus(http.StatusOK)
-		return
+	if !req.stream {
+		if cached, ok := s.cache.get(rawKey); ok {
+			s.st.recordCache(true)
+			s.serveCached(w, cached)
+			return
+		}
 	}
 
 	g, err := graph.ReadGraphLimits(bytes.NewReader(body), s.cfg.Limits)
@@ -414,30 +473,105 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	// form (or a different spec resolving to the same algorithm) of an
 	// already-served graph hits here; the raw key is backfilled so the
 	// next byte-identical replay takes the cheap path.
-	key := cacheKey(graphDigest(g), alg.Name(), req.includeEdges)
-	if cached, ok := s.cache.get(key); ok {
-		s.st.recordCache(true)
-		s.cache.put(rawKey, cached)
-		w.Header().Set("Content-Type", "application/json")
-		w.Header().Set("X-Cache", "hit")
-		w.Write(cached)
-		s.st.recordStatus(http.StatusOK)
-		return
+	digest := graph.Digest(g)
+	key := cacheKey(digest, alg.Name(), req.includeEdges)
+	if !req.stream {
+		if cached, ok := s.cache.get(key); ok {
+			s.st.recordCache(true)
+			s.cache.put(rawKey, cached)
+			s.serveCached(w, cached)
+			return
+		}
+		s.st.recordCache(false)
 	}
-	s.st.recordCache(false)
 
 	// The deadline starts before admission: time spent waiting for a
-	// worker (or for an identical in-flight run) counts against the
-	// request's budget.
+	// worker, for the batch window, for an identical in-flight run, or
+	// for the owner's fill response all counts against the request's
+	// budget.
 	ctx, cancel := context.WithTimeout(r.Context(), req.timeout)
 	defer cancel()
 
-	// Singleflight on the cache key: the first request for this exact
-	// graph/algorithm/shape leads and runs the engine; duplicates that
-	// arrive while it is in flight wait for its outcome instead of
-	// occupying worker slots of their own. Followers whose leader ended
-	// privately (canceled, timed out, not admitted) loop and take the
-	// lead themselves.
+	if req.stream {
+		s.streamRun(ctx, w, req, g, alg, bound)
+		return
+	}
+
+	// Cluster routing: a cache miss for a digest owned elsewhere is
+	// filled from the owner instead of recomputed. Fills themselves
+	// never re-forward, and any failure degrades to local compute.
+	if s.cfg.Cluster != nil && !isFill {
+		if owner, self := s.cfg.Cluster.Owner(digest[:]); !self {
+			if s.forwardFill(ctx, w, r, owner, body, key, rawKey) {
+				return
+			}
+			s.st.recordFallback(owner)
+		}
+	}
+
+	s.serveLocal(ctx, w, req, g, alg, bound, key, rawKey)
+}
+
+// serveCached writes a cache hit.
+func (s *Server) serveCached(w http.ResponseWriter, cached []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", "hit")
+	w.Write(cached)
+	s.st.recordStatus(http.StatusOK)
+}
+
+// forwardFill asks the owner replica for this request's result and
+// relays the answer. It reports whether the response was written; false
+// means the owner was unavailable and the caller must compute locally.
+func (s *Server) forwardFill(ctx context.Context, w http.ResponseWriter, r *http.Request, owner string, body []byte, key, rawKey string) bool {
+	s.st.recordFillSent(owner)
+	resp, err := s.cfg.Cluster.Fill(ctx, owner, requestIDFrom(r.Context()), r.URL.RawQuery, body)
+	if err != nil {
+		s.cfg.Logger.LogAttrs(ctx, slog.LevelWarn, "fill fallback",
+			slog.String("id", requestIDFrom(r.Context())),
+			slog.String("owner", owner),
+			slog.String("cause", err.Error()))
+		return false
+	}
+	defer resp.Body.Close()
+	respBody, err := io.ReadAll(resp.Body)
+	if err != nil {
+		s.cfg.Logger.LogAttrs(ctx, slog.LevelWarn, "fill fallback",
+			slog.String("id", requestIDFrom(r.Context())),
+			slog.String("owner", owner),
+			slog.String("cause", "reading fill body: "+err.Error()))
+		return false
+	}
+	s.st.recordFillRelayed(owner)
+	if resp.StatusCode == http.StatusOK {
+		// The owner's answer becomes a local cache entry under both
+		// keys, so this replica serves every repeat itself — the
+		// groupcache property: one compute, N caches.
+		s.cache.put(key, respBody)
+		s.cache.put(rawKey, respBody)
+	}
+	w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
+	w.Header().Set("X-Cache", "fill")
+	w.Header().Set("X-Eds-Owner", owner)
+	if oc := resp.Header.Get("X-Cache"); oc != "" {
+		w.Header().Set("X-Fill-Cache", oc)
+	}
+	w.WriteHeader(resp.StatusCode)
+	w.Write(respBody)
+	s.st.recordStatus(resp.StatusCode)
+	return true
+}
+
+// serveLocal runs the request on this replica, coalescing identical
+// requests through the flight group.
+//
+// Singleflight on the cache key: the first request for this exact
+// graph/algorithm/shape leads and runs the engine; duplicates that
+// arrive while it is in flight wait for its outcome instead of
+// occupying worker slots of their own. Followers whose leader ended
+// privately (canceled, timed out, not admitted) loop and take the
+// lead themselves.
+func (s *Server) serveLocal(ctx context.Context, w http.ResponseWriter, req runRequest, g *graph.Graph, alg sim.Algorithm, bound *ratio.R, key, rawKey string) {
 	for {
 		f, leader := s.flights.join(key)
 		if leader {
@@ -478,6 +612,28 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 // budget (deadline, client gone, admission failure) publish a retry
 // marker instead.
 func (s *Server) leadRun(ctx context.Context, w http.ResponseWriter, req runRequest, g *graph.Graph, alg sim.Algorithm, bound *ratio.R, key, rawKey string, f *flight) {
+	// The batch window: a fresh leader waits briefly before running, so
+	// identical requests that are about to arrive — from local clients
+	// or, via owner routing, from every replica in the fleet — join this
+	// flight instead of finding a cold cache a moment apart. The wait
+	// spends the leader's own deadline budget; expiry is a private
+	// outcome, so waiting followers retry with their own budgets.
+	if s.cfg.BatchWindow > 0 {
+		t := time.NewTimer(s.cfg.BatchWindow)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			s.flights.finish(key, f, flightResult{})
+			if errors.Is(context.Cause(ctx), context.DeadlineExceeded) {
+				s.writeError(w, http.StatusGatewayTimeout, "request timed out in the batch window")
+				return
+			}
+			s.writeError(w, StatusClientClosedRequest, "client canceled in the batch window")
+			return
+		}
+	}
+
 	release, code := s.acquire(ctx)
 	if code != 0 {
 		s.flights.finish(key, f, flightResult{})
@@ -519,6 +675,10 @@ func (s *Server) leadRun(ctx context.Context, w http.ResponseWriter, req runRequ
 	s.cache.put(key, respBody)
 	s.cache.put(rawKey, respBody)
 	s.flights.finish(key, f, flightResult{code: http.StatusOK, body: respBody})
+	// The flight is closed to joiners once finish removed the key, so
+	// its size — leader plus every coalesced follower and fill — is now
+	// stable: that is this run's batch yield.
+	s.st.recordBatch(f.size.Load())
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Cache", "miss")
 	w.Write(respBody)
@@ -556,7 +716,19 @@ func buildResponse(g *graph.Graph, algName string, bound *ratio.R, res *sim.Resu
 	return append(body, '\n'), nil
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+// handleLivez is the liveness probe: 200 for as long as the process can
+// serve HTTP at all, draining included. Restart-deciders watch this;
+// routing-deciders watch /readyz.
+func (s *Server) handleLivez(w http.ResponseWriter, r *http.Request) {
+	w.Write([]byte("ok\n"))
+}
+
+// handleReadyz is the readiness probe: 200 while the server accepts new
+// runs, 503 once StartDraining flipped it. Load balancers and cluster
+// peers (the health prober in internal/cluster) key routing off this,
+// so a draining replica stops receiving fills before it starts
+// rejecting them.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if s.isDraining() {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
@@ -588,37 +760,87 @@ type statszResponse struct {
 	// run, as reported by sim.WithTimings: setup (node construction and
 	// state initialisation), the round loop, and output collection. The
 	// ratio tells an operator whether the serving mix is dominated by run
-	// construction or by protocol rounds.
+	// construction or by protocol rounds; Runs counts this replica's
+	// engine executions, which the cluster e2e suite sums fleet-wide to
+	// prove each graph ran exactly once.
 	EngineTime struct {
 		Runs      int64   `json:"runs"`
 		SetupMs   float64 `json:"setup_ms"`
 		RoundsMs  float64 `json:"rounds_ms"`
 		OutputsMs float64 `json:"outputs_ms"`
 	} `json:"engine_time"`
-	Draining bool `json:"draining"`
+	// Batch distributes how many requests each engine run served; with
+	// a batch window (and, fleet-wide, owner routing) the mass moves off
+	// the size-1 bucket.
+	Batch struct {
+		WindowMs float64           `json:"window_ms"`
+		Sizes    histogramSnapshot `json:"sizes"`
+	} `json:"batch"`
+	// Stream counts chunked NDJSON responses and their body bytes.
+	Stream struct {
+		Responses int64             `json:"responses"`
+		Bytes     int64             `json:"bytes"`
+		Sizes     histogramSnapshot `json:"sizes"`
+	} `json:"stream"`
+	// Cluster reports the fleet view when the cluster tier is on: this
+	// replica's identity plus, per peer, health and fill traffic in both
+	// roles.
+	Cluster  *clusterStatsz `json:"cluster,omitempty"`
+	Draining bool           `json:"draining"`
+}
+
+type clusterStatsz struct {
+	Self  string                    `json:"self"`
+	Peers map[string]peerStatszView `json:"peers"`
+}
+
+type peerStatszView struct {
+	Ready   bool   `json:"ready"`
+	LastErr string `json:"last_err,omitempty"`
+	peerCounters
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	var resp statszResponse
-	total, byStatus, hits, misses, coalesced, perAlg, phases, runs := s.st.snapshot()
-	resp.Requests.Total = total
-	resp.Requests.ByStatus = byStatus
-	resp.Cache.Hits = hits
-	resp.Cache.Misses = misses
-	resp.Cache.Coalesced = coalesced
-	if hits+misses > 0 {
-		resp.Cache.HitRate = float64(hits) / float64(hits+misses)
+	snap := s.st.snapshot()
+	resp.Requests.Total = snap.requests
+	resp.Requests.ByStatus = snap.byStatus
+	resp.Cache.Hits = snap.hits
+	resp.Cache.Misses = snap.misses
+	resp.Cache.Coalesced = snap.coalesced
+	if snap.hits+snap.misses > 0 {
+		resp.Cache.HitRate = float64(snap.hits) / float64(snap.hits+snap.misses)
 	}
 	resp.Cache.Size = s.cache.len()
 	resp.Queue.Workers = s.cfg.Workers
 	resp.Queue.InFlight = len(s.sem)
 	resp.Queue.Depth = len(s.queue)
 	resp.Queue.Capacity = s.cfg.QueueDepth
-	resp.LatencyMs = perAlg
-	resp.EngineTime.Runs = runs
-	resp.EngineTime.SetupMs = float64(phases.Setup) / float64(time.Millisecond)
-	resp.EngineTime.RoundsMs = float64(phases.Rounds) / float64(time.Millisecond)
-	resp.EngineTime.OutputsMs = float64(phases.Outputs) / float64(time.Millisecond)
+	resp.LatencyMs = snap.perAlg
+	resp.EngineTime.Runs = snap.runs
+	resp.EngineTime.SetupMs = float64(snap.phases.Setup) / float64(time.Millisecond)
+	resp.EngineTime.RoundsMs = float64(snap.phases.Rounds) / float64(time.Millisecond)
+	resp.EngineTime.OutputsMs = float64(snap.phases.Outputs) / float64(time.Millisecond)
+	resp.Batch.WindowMs = float64(s.cfg.BatchWindow) / float64(time.Millisecond)
+	resp.Batch.Sizes = snap.batchSizes
+	resp.Stream.Responses = snap.streamResponses
+	resp.Stream.Bytes = snap.streamBytes
+	resp.Stream.Sizes = snap.streamSizes
+	if c := s.cfg.Cluster; c != nil {
+		cs := &clusterStatsz{Self: c.Self(), Peers: map[string]peerStatszView{}}
+		for _, ps := range c.Snapshot() {
+			cs.Peers[ps.URL] = peerStatszView{Ready: ps.Ready, LastErr: ps.LastErr, peerCounters: snap.peers[ps.URL]}
+		}
+		// Counters can exist for URLs the cluster no longer reports
+		// (e.g. a fill served for a peer before its first probe); keep
+		// them visible.
+		for base, pc := range snap.peers {
+			if _, ok := cs.Peers[base]; !ok {
+				cs.Peers[base] = peerStatszView{Ready: false, peerCounters: pc}
+			}
+		}
+		resp.Cluster = cs
+	}
 	resp.Draining = s.isDraining()
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(resp)

@@ -8,62 +8,89 @@ import (
 	"eds/internal/sim"
 )
 
-// histogram is a log-2 latency histogram in milliseconds: bucket k
-// counts observations in [2^(k-1), 2^k) ms (bucket 0 is < 1 ms), with
-// the last bucket absorbing the overflow. Sixteen buckets cover up to
-// ~32 s, past any per-request deadline the server will grant.
+// histogram is a log-2 histogram: bucket k counts observations in
+// [2^(k-1), 2^k) of the unit (bucket 0 is < 1), with the last bucket
+// absorbing the overflow. The same machinery backs every distribution
+// /statsz exposes — per-algorithm latencies (unit "ms", 16 buckets
+// cover ~32 s, past any deadline the server grants), batch sizes (unit
+// "", 16 buckets cover 32k-way coalescing), and streamed response sizes
+// (unit "B", 28 buckets cover 128 MiB bodies).
 type histogram struct {
-	buckets [16]int64
+	buckets []int64
+	unit    string
 	count   int64
-	sumMs   int64
-	maxMs   int64
+	sum     int64
+	max     int64
 }
 
-func (h *histogram) observe(d time.Duration) {
-	ms := d.Milliseconds()
+func newHistogram(nbuckets int, unit string) *histogram {
+	return &histogram{buckets: make([]int64, nbuckets), unit: unit}
+}
+
+func (h *histogram) observe(v int64) {
 	k := 0
-	for v := ms; v > 0 && k < len(h.buckets)-1; v >>= 1 {
+	for x := v; x > 0 && k < len(h.buckets)-1; x >>= 1 {
 		k++
 	}
 	h.buckets[k]++
 	h.count++
-	h.sumMs += ms
-	if ms > h.maxMs {
-		h.maxMs = ms
+	h.sum += v
+	if v > h.max {
+		h.max = v
 	}
 }
 
 // histogramSnapshot is the JSON shape of one histogram in /statsz.
 type histogramSnapshot struct {
 	Count   int64            `json:"count"`
-	MeanMs  float64          `json:"mean_ms"`
-	MaxMs   int64            `json:"max_ms"`
+	Mean    float64          `json:"mean"`
+	Max     int64            `json:"max"`
 	Buckets map[string]int64 `json:"buckets,omitempty"`
 }
 
 func (h *histogram) snapshot() histogramSnapshot {
-	s := histogramSnapshot{Count: h.count, MaxMs: h.maxMs, Buckets: map[string]int64{}}
+	s := histogramSnapshot{Count: h.count, Max: h.max, Buckets: map[string]int64{}}
 	if h.count > 0 {
-		s.MeanMs = float64(h.sumMs) / float64(h.count)
+		s.Mean = float64(h.sum) / float64(h.count)
 	}
 	for k, c := range h.buckets {
 		if c == 0 {
 			continue
 		}
-		label := "<1ms"
+		label := "<1" + h.unit
 		if k > 0 {
-			label = fmt.Sprintf("<%dms", 1<<k)
+			label = fmt.Sprintf("<%d%s", 1<<k, h.unit)
 		}
 		if k == len(h.buckets)-1 {
-			label = fmt.Sprintf(">=%dms", 1<<(k-1))
+			label = fmt.Sprintf(">=%d%s", 1<<(k-1), h.unit)
 		}
 		s.Buckets[label] = c
 	}
 	return s
 }
 
+// peerCounters tracks this replica's traffic with one peer, keyed by the
+// peer's base URL. Sent/relayed/fallbacks count this replica acting as
+// a non-owner (client of the fill protocol); served counts it acting as
+// the owner for that peer.
+type peerCounters struct {
+	// FillsSent is the number of fill requests this replica addressed to
+	// the peer (each with its own retry budget).
+	FillsSent int64 `json:"fills_sent"`
+	// FillsRelayed is how many of those produced an answer relayed to
+	// the client — a cached or computed 200, or a deterministic error.
+	FillsRelayed int64 `json:"fills_relayed"`
+	// Fallbacks is how many fills failed (peer unreachable, draining, or
+	// saturated) and degraded to local compute.
+	Fallbacks int64 `json:"fallbacks"`
+	// FillsServed is the number of fill requests this replica answered
+	// as the owner on the peer's behalf.
+	FillsServed int64 `json:"fills_served"`
+}
+
 // stats aggregates the serving metrics exposed at /statsz. One mutex is
-// plenty: every field is touched once per request, far off any hot path.
+// plenty: every field is touched a handful of times per request, far
+// off any hot path.
 type stats struct {
 	mu          sync.Mutex
 	requests    int64
@@ -76,13 +103,31 @@ type stats struct {
 	// split (sim.WithTimings) over every completed run, exposing where
 	// serving time actually goes: a setup-heavy mix means run construction
 	// dominates and the arena/bulk path is the lever; a rounds-heavy mix
-	// means the protocol itself does.
+	// means the protocol itself does. runs doubles as the replica's
+	// engine-run counter — the cluster e2e suite sums it across replicas
+	// to prove a graph was computed exactly once fleet-wide.
 	phases sim.Timings
 	runs   int64
+	// batchSizes distributes how many requests each engine run served
+	// (leader + coalesced followers): the windowed batcher's yield.
+	batchSizes *histogram
+	// stream counts chunked NDJSON responses and their bytes; the
+	// histogram shows the size distribution the buffered-JSON path never
+	// has to hold in memory.
+	streamResponses int64
+	streamBytes     int64
+	streamSizes     *histogram
+	peers           map[string]*peerCounters
 }
 
 func newStats() *stats {
-	return &stats{byStatus: map[int]int64{}, perAlg: map[string]*histogram{}}
+	return &stats{
+		byStatus:    map[int]int64{},
+		perAlg:      map[string]*histogram{},
+		batchSizes:  newHistogram(16, ""),
+		streamSizes: newHistogram(28, "B"),
+		peers:       map[string]*peerCounters{},
+	}
 }
 
 func (s *stats) recordStatus(code int) {
@@ -120,28 +165,108 @@ func (s *stats) recordPhases(split sim.Timings) {
 	s.mu.Unlock()
 }
 
+// recordBatch notes that one engine run's outcome served size requests.
+func (s *stats) recordBatch(size int64) {
+	s.mu.Lock()
+	s.batchSizes.observe(size)
+	s.mu.Unlock()
+}
+
+// recordStream notes one finished NDJSON response of n body bytes.
+func (s *stats) recordStream(n int64) {
+	s.mu.Lock()
+	s.streamResponses++
+	s.streamBytes += n
+	s.streamSizes.observe(n)
+	s.mu.Unlock()
+}
+
+func (s *stats) peer(base string) *peerCounters {
+	p := s.peers[base]
+	if p == nil {
+		p = &peerCounters{}
+		s.peers[base] = p
+	}
+	return p
+}
+
+func (s *stats) recordFillSent(base string) {
+	s.mu.Lock()
+	s.peer(base).FillsSent++
+	s.mu.Unlock()
+}
+
+func (s *stats) recordFillRelayed(base string) {
+	s.mu.Lock()
+	s.peer(base).FillsRelayed++
+	s.mu.Unlock()
+}
+
+func (s *stats) recordFallback(base string) {
+	s.mu.Lock()
+	s.peer(base).Fallbacks++
+	s.mu.Unlock()
+}
+
+func (s *stats) recordFillServed(base string) {
+	s.mu.Lock()
+	s.peer(base).FillsServed++
+	s.mu.Unlock()
+}
+
 func (s *stats) recordLatency(alg string, d time.Duration) {
 	s.mu.Lock()
 	h := s.perAlg[alg]
 	if h == nil {
-		h = &histogram{}
+		h = newHistogram(16, "ms")
 		s.perAlg[alg] = h
 	}
-	h.observe(d)
+	h.observe(d.Milliseconds())
 	s.mu.Unlock()
 }
 
-// snapshot returns the /statsz payload fragments owned by stats.
-func (s *stats) snapshot() (requests int64, byStatus map[string]int64, hits, misses, coalesced int64, perAlg map[string]histogramSnapshot, phases sim.Timings, runs int64) {
+// statsSnapshot is a consistent copy of every counter stats owns.
+type statsSnapshot struct {
+	requests        int64
+	byStatus        map[string]int64
+	hits, misses    int64
+	coalesced       int64
+	perAlg          map[string]histogramSnapshot
+	phases          sim.Timings
+	runs            int64
+	batchSizes      histogramSnapshot
+	streamResponses int64
+	streamBytes     int64
+	streamSizes     histogramSnapshot
+	peers           map[string]peerCounters
+}
+
+func (s *stats) snapshot() statsSnapshot {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	byStatus = make(map[string]int64, len(s.byStatus))
+	snap := statsSnapshot{
+		requests:        s.requests,
+		byStatus:        make(map[string]int64, len(s.byStatus)),
+		hits:            s.cacheHits,
+		misses:          s.cacheMisses,
+		coalesced:       s.coalesced,
+		perAlg:          make(map[string]histogramSnapshot, len(s.perAlg)),
+		phases:          s.phases,
+		runs:            s.runs,
+		batchSizes:      s.batchSizes.snapshot(),
+		streamResponses: s.streamResponses,
+		streamBytes:     s.streamBytes,
+		streamSizes:     s.streamSizes.snapshot(),
+		peers:           make(map[string]peerCounters, len(s.peers)),
+	}
 	for code, c := range s.byStatus {
-		byStatus[fmt.Sprintf("%d", code)] = c
+		snap.byStatus[fmt.Sprintf("%d", code)] = c
 	}
-	perAlg = make(map[string]histogramSnapshot, len(s.perAlg))
 	for alg, h := range s.perAlg {
-		perAlg[alg] = h.snapshot()
+		snap.perAlg[alg] = h.snapshot()
 	}
-	return s.requests, byStatus, s.cacheHits, s.cacheMisses, s.coalesced, perAlg, s.phases, s.runs
+	for base, p := range s.peers {
+		snap.peers[base] = *p
+	}
+	return snap
 }
